@@ -1,0 +1,25 @@
+// Matrix chain (sec. 5.3):
+//   mlt-opt examples/kernels/chain.c --raise-affine-to-linalg \
+//           --reorder-chains --convert-linalg-to-blas
+void chain(float A1[800][1100], float A2[1100][900], float A3[900][1200], float A4[1200][100], float R[800][100]) {
+  float T2[800][900];
+  float T3[800][1200];
+  for (int i = 0; i < 800; ++i)
+    for (int j = 0; j < 900; ++j) {
+      T2[i][j] = 0.0;
+      for (int k = 0; k < 1100; ++k)
+        T2[i][j] += A1[i][k] * A2[k][j];
+    }
+  for (int i = 0; i < 800; ++i)
+    for (int j = 0; j < 1200; ++j) {
+      T3[i][j] = 0.0;
+      for (int k = 0; k < 900; ++k)
+        T3[i][j] += T2[i][k] * A3[k][j];
+    }
+  for (int i = 0; i < 800; ++i)
+    for (int j = 0; j < 100; ++j) {
+      R[i][j] = 0.0;
+      for (int k = 0; k < 1200; ++k)
+        R[i][j] += T3[i][k] * A4[k][j];
+    }
+}

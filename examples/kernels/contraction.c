@@ -1,0 +1,9 @@
+// Listing 2's tensor contraction abc-acd-db; raise through TTGT with
+//   mlt-opt examples/kernels/contraction.c --tactics examples/kernels/ttgt.tdl --raise-affine-to-linalg
+void contraction(float A[32][20][28], float B[28][24], float C[32][24][20]) {
+  for (int a = 0; a < 32; ++a)
+    for (int b = 0; b < 24; ++b)
+      for (int c = 0; c < 20; ++c)
+        for (int d = 0; d < 28; ++d)
+          C[a][b][c] += A[a][c][d] * B[d][b];
+}

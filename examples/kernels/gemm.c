@@ -1,0 +1,10 @@
+// Plain GEMM in the polyhedral mini-C subset: raise it with
+//   mlt-opt examples/kernels/gemm.c --raise-affine-to-linalg
+void gemm(float A[256][256], float B[256][256], float C[256][256]) {
+  for (int i = 0; i < 256; ++i)
+    for (int j = 0; j < 256; ++j) {
+      C[i][j] = 0.0;
+      for (int k = 0; k < 256; ++k)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
