@@ -1,0 +1,45 @@
+(* met: the MLIR Extraction Tool substitute — translate the polyhedral
+   mini-C subset into the Affine dialect, canonicalizing with loop
+   distribution (Figure 3's entry path). *)
+
+open Cmdliner
+
+let run input no_distribute output =
+  try
+    let src =
+      match input with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | path -> In_channel.with_open_text path In_channel.input_all
+    in
+    let ks = Met.C_parser.parse_program ~file:input src in
+    let m = Met.Emit_affine.program ~distribute:(not no_distribute) ks in
+    Ir.Verifier.verify m;
+    let text = Ir.Printer.op_to_string m ^ "\n" in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc text));
+    Ok ()
+  with
+  | Support.Diag.Error (loc, msg) -> Error (Support.Diag.to_string loc msg)
+  | Sys_error e -> Error e
+
+let cmd =
+  let term =
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"FILE.c" ~doc:"Mini-C input; '-' for stdin.")
+      $ Arg.(value & flag
+             & info [ "no-distribute" ]
+                 ~doc:"Skip the loop-distribution canonicalization.")
+      $ Arg.(value & opt (some string) None
+             & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output here."))
+  in
+  Cmd.v
+    (Cmd.info "met" ~version:"1.0"
+       ~doc:"C to Affine-dialect extraction (MET)")
+    Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,190 @@
+(* mlt-opt: the mlir-opt-style driver for Multi-Level Tactics.
+
+   Reads mini-C (with --c or a .c extension) or textual IR, applies the
+   requested passes in the canonical pipeline order, and prints the
+   resulting IR. Examples:
+
+     mlt-opt gemm.c --raise-affine-to-linalg
+     mlt-opt gemm.c --raise-affine-to-affine
+     mlt-opt chain.c --raise-affine-to-linalg --reorder-chains \
+             --convert-linalg-to-blas
+     mlt-opt kernel.mlir --tile 32 --lower-affine
+     mlt-opt gemm.c --tactics my_tactics.tdl --dump-tds *)
+
+open Cmdliner
+module T = Transforms
+
+let read_file = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let list_ops () =
+  (* Force registration of every dialect, then dump the registry. *)
+  Std_dialect.Arith.register ();
+  Std_dialect.Memref_ops.register ();
+  Std_dialect.Scf.register ();
+  Affine.Affine_ops.register ();
+  Linalg.Linalg_ops.register ();
+  Blas.Blas_ops.register ();
+  List.iter
+    (fun name ->
+      match Ir.Dialect.lookup name with
+      | Some d -> Printf.printf "%-24s %s\n" name d.Ir.Dialect.od_summary
+      | None -> ())
+    (Ir.Dialect.registered_ops ())
+
+let run input list_ops_flag force_c tactics_file dump_tds delinearize
+    raise_scf canonicalize raise_affine raise_linalg reorder_chains to_blas
+    lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
+    output =
+  if list_ops_flag then (
+    list_ops ();
+    Ok ())
+  else
+  try
+    let src = read_file input in
+    let is_c =
+      force_c || Filename.check_suffix input ".c" || input = "-"
+    in
+    let m =
+      if is_c then Met.Emit_affine.translate ~file:input src
+      else Ir.Parser.parse_module ~file:input src
+    in
+    let tactic_patterns =
+      match tactics_file with
+      | None -> None
+      | Some path ->
+          let tdl_src = read_file path in
+          if dump_tds then
+            List.iter
+              (fun tds -> print_string (Tdl.Tds.to_string tds))
+              (Tdl.Frontend.lower_source ~file:path tdl_src);
+          Some (Tdl.Backend.compile_tdl tdl_src)
+    in
+    let verify () = if verify_each then Ir.Verifier.verify m in
+    if raise_scf then (
+      ignore (T.Raise_scf.run m);
+      verify ());
+    if delinearize then (
+      Ir.Core.walk m (fun op ->
+          if Ir.Core.is_func op then ignore (T.Delinearize.run op));
+      verify ());
+    if canonicalize then (
+      ignore (T.Canonicalize.run m);
+      verify ());
+    if raise_affine then (
+      ignore (Mlt.Tactics.raise_to_affine_matmul m);
+      verify ());
+    if raise_linalg then (
+      let pats =
+        match tactic_patterns with
+        | Some pats -> Mlt.Tactics.fill_pattern () :: pats
+        | None -> Mlt.Tactics.all ()
+      in
+      ignore (Ir.Rewriter.apply_greedily m pats);
+      verify ());
+    if reorder_chains then (
+      Ir.Core.walk m (fun op ->
+          if Ir.Core.is_func op then ignore (Mlt.Raise_chain.reorder op));
+      verify ());
+    if to_blas then (
+      ignore (Mlt.To_blas.run m);
+      verify ());
+    (match lower_linalg_tiled with
+    | Some size ->
+        T.Lower_linalg.run_tiled ~size m;
+        verify ()
+    | None ->
+        if lower_linalg then (
+          T.Lower_linalg.run m;
+          verify ()));
+    (match fuse with
+    | Some h ->
+        let heuristic =
+          match h with
+          | "nofuse" -> T.Loop_fuse.No_fuse
+          | "smartfuse" -> T.Loop_fuse.Smart_fuse
+          | "maxfuse" -> T.Loop_fuse.Max_fuse
+          | other -> Support.Diag.errorf "unknown fusion heuristic %S" other
+        in
+        ignore (T.Loop_fuse.run heuristic m);
+        verify ()
+    | None -> ());
+    (match tile with
+    | Some size ->
+        T.Loop_tile.tile_all m ~size;
+        verify ()
+    | None -> ());
+    if lower_affine then (
+      T.Lower_affine.run m;
+      verify ());
+    if dce then (
+      ignore (T.Dce.run m);
+      verify ());
+    Ir.Verifier.verify m;
+    let text = Ir.Printer.op_to_string m ^ "\n" in
+    (match output with
+    | None -> print_string text
+    | Some path -> Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc text));
+    Ok ()
+  with
+  | Support.Diag.Error (loc, msg) ->
+      Error (Support.Diag.to_string loc msg)
+  | Sys_error e -> Error e
+
+let input =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+         ~doc:"Input file: mini-C (.c) or textual IR (.mlir); '-' for stdin.")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let cmd =
+  let open Term in
+  let term =
+    const run
+    $ input
+    $ flag [ "list-ops" ]
+        "Print every registered operation with its summary and exit."
+    $ flag [ "c" ] "Force parsing the input as mini-C."
+    $ Arg.(value & opt (some string) None
+           & info [ "tactics" ] ~docv:"FILE.tdl"
+               ~doc:"Load user-defined TDL tactics for raising (replaces \
+                     the built-in tactic set).")
+    $ flag [ "dump-tds" ]
+        "Print the TableGen-stage TDS generated from --tactics."
+    $ flag [ "delinearize" ]
+        "Optimistically delinearize rank-1 buffers (recovers Darknet-style \
+         linearized GEMMs)."
+    $ flag [ "raise-scf-to-affine" ]
+        "Raise SCF loops and memref accesses back to the affine dialect."
+    $ flag [ "canonicalize" ] "Run algebraic canonicalization."
+    $ flag [ "raise-affine-to-affine" ]
+        "Raise GEMM loop nests to affine.matmul (sec. 5.1)."
+    $ flag [ "raise-affine-to-linalg" ]
+        "Raise loop nests to Linalg operations (sec. 5.2)."
+    $ flag [ "reorder-chains" ]
+        "Re-parenthesize matrix-multiplication chains optimally (sec. 5.3)."
+    $ flag [ "convert-linalg-to-blas" ]
+        "Replace Linalg ops with vendor-library calls (MLT-Blas)."
+    $ flag [ "lower-linalg" ] "Lower Linalg ops to affine loops."
+    $ Arg.(value & opt (some int) None
+           & info [ "lower-linalg-tiled" ] ~docv:"SIZE"
+               ~doc:"Lower Linalg ops to cache-tiled loops (MLT-Linalg path).")
+    $ Arg.(value & opt (some string) None
+           & info [ "fuse" ] ~docv:"HEURISTIC"
+               ~doc:"Fuse loops: nofuse, smartfuse or maxfuse.")
+    $ Arg.(value & opt (some int) None
+           & info [ "tile" ] ~docv:"SIZE" ~doc:"Tile affine loop nests.")
+    $ flag [ "lower-affine" ] "Lower the affine dialect to SCF + memref."
+    $ flag [ "dce" ] "Dead-code (and dead-buffer) elimination."
+    $ flag [ "verify-each" ] "Verify the IR after every pass."
+    $ Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output here.")
+  in
+  Cmd.v
+    (Cmd.info "mlt-opt" ~version:"1.0"
+       ~doc:"Multi-Level Tactics optimizer driver")
+    Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

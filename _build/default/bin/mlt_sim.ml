@@ -1,0 +1,71 @@
+(* mlt-sim: run a mini-C kernel through one of the evaluation pipelines
+   and report simulated performance on a machine model.
+
+     mlt-sim gemm.c --config mlt-blas --machine amd-2920x --flops 4194304 *)
+
+open Cmdliner
+
+let configs =
+  [
+    ("clang-O3", Mlt.Pipeline.Clang_O3);
+    ("pluto-default", Mlt.Pipeline.Pluto_default);
+    ("pluto-best", Mlt.Pipeline.Pluto_best);
+    ("mlt-linalg", Mlt.Pipeline.Mlt_linalg);
+    ("mlt-blas", Mlt.Pipeline.Mlt_blas);
+    ("mlt-affine-blis", Mlt.Pipeline.Mlt_affine_blis);
+  ]
+
+let machines =
+  List.map
+    (fun (m : Machine.Machine_model.t) -> (m.name, m))
+    Machine.Machine_model.platforms
+
+let run input config machine flops =
+  try
+    let src =
+      match input with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | path -> In_channel.with_open_text path In_channel.input_all
+    in
+    let report = Mlt.Pipeline.time config machine src in
+    Printf.printf "machine:          %s\n" machine.Machine.Machine_model.name;
+    Printf.printf "config:           %s\n" (Mlt.Pipeline.config_name config);
+    Printf.printf "simulated time:   %.6f s\n" report.Machine.Perf.seconds;
+    Printf.printf "  loop code:      %.6f s\n" report.Machine.Perf.loop_seconds;
+    Printf.printf "  library calls:  %.6f s\n"
+      report.Machine.Perf.library_seconds;
+    (match flops with
+    | Some f ->
+        Printf.printf "GFLOPS:           %.2f\n"
+          (Machine.Perf.gflops ~flops:f report)
+    | None -> ());
+    Ok ()
+  with
+  | Support.Diag.Error (loc, msg) -> Error (Support.Diag.to_string loc msg)
+  | Sys_error e -> Error e
+
+let cmd =
+  let term =
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"FILE.c" ~doc:"Mini-C kernel; '-' for stdin.")
+      $ Arg.(value
+             & opt (enum configs) Mlt.Pipeline.Clang_O3
+             & info [ "config" ] ~docv:"CONFIG"
+                 ~doc:"One of: clang-O3, pluto-default, pluto-best, \
+                       mlt-linalg, mlt-blas, mlt-affine-blis.")
+      $ Arg.(value
+             & opt (enum machines) Machine.Machine_model.amd_2920x
+             & info [ "machine" ] ~docv:"MACHINE"
+                 ~doc:"intel-i9-9900k or amd-2920x.")
+      $ Arg.(value & opt (some float) None
+             & info [ "flops" ] ~docv:"N"
+                 ~doc:"Mathematical flop count, to report GFLOPS."))
+  in
+  Cmd.v
+    (Cmd.info "mlt-sim" ~version:"1.0"
+       ~doc:"Simulate a kernel's performance under an evaluation pipeline")
+    Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/custom_tactic.ml: Interp Ir Met Printf Tdl

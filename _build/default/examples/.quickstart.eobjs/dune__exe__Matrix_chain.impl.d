@@ -1,0 +1,1 @@
+examples/matrix_chain.ml: Array Core Interp Ir List Machine Met Mlt Option Printer Printf Transforms Workloads

@@ -1,0 +1,1 @@
+examples/progressive_raising.ml: Core Interp Ir Met Mlt Printer Printf Transforms Workloads

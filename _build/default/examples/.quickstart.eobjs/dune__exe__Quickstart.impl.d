@@ -1,0 +1,1 @@
+examples/quickstart.ml: Interp Ir List Machine Met Mlt Printf Tdl

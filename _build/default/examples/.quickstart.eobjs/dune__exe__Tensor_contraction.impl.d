@@ -1,0 +1,1 @@
+examples/tensor_contraction.ml: Interp Ir List Machine Met Mlt Printf Tdl Workloads

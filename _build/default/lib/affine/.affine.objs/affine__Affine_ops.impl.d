@@ -1,0 +1,1 @@
+lib/affine/affine_ops.ml: Affine_expr Affine_map Array Attr Builder Core Dialect Ir List Std_dialect String Support Typ

@@ -1,0 +1,1 @@
+lib/affine/affine_ops.mli: Affine_map Builder Core Ir

@@ -1,0 +1,1 @@
+lib/affine/loops.ml: Affine_expr Affine_map Affine_ops Array Core Ir List String Typ

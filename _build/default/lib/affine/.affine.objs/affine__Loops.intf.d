@@ -1,0 +1,1 @@
+lib/affine/loops.mli: Core Ir

@@ -1,0 +1,1 @@
+lib/blas/blas_ops.ml: Array Attr Builder Core Dialect Ir List

@@ -1,0 +1,1 @@
+lib/blas/blas_ops.mli: Builder Core Ir

@@ -1,0 +1,43 @@
+open Ir
+
+let names =
+  [
+    "blas.sgemm";
+    "blas.sgemv";
+    "blas.stranspose";
+    "blas.sreshape_copy";
+    "blas.sconv2d";
+  ]
+
+let is_blas (op : Core.op) = List.mem op.o_name names
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Dialect.register_all
+      (List.map
+         (fun n -> Dialect.def ~summary:"vendor library call" n)
+         names)
+  end
+
+let call3 name b x y z =
+  register ();
+  Builder.build b ~operands:[ x; y; z ] name
+
+let sgemm b = call3 "blas.sgemm" b
+let sgemv b = call3 "blas.sgemv" b
+let sconv2d b = call3 "blas.sconv2d" b
+
+let stranspose b ~perm input output =
+  register ();
+  Builder.build b ~operands:[ input; output ]
+    ~attrs:[ ("permutation", Attr.Ints (Array.to_list perm)) ]
+    "blas.stranspose"
+
+let sreshape_copy b ~grouping input output =
+  register ();
+  Builder.build b ~operands:[ input; output ]
+    ~attrs:[ ("grouping", Attr.Grouping grouping) ]
+    "blas.sreshape_copy"

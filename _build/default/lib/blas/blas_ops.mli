@@ -1,0 +1,29 @@
+(** The [blas] dialect: calls into the (modelled) vendor-optimized library.
+
+    MLT-Blas replaces Linalg operations with these calls (§5.2); the machine
+    model charges each one an analytical library time plus the constant
+    dynamic-link overhead the paper measures (≈1.5 ms for atax). Semantics
+    mirror the corresponding Linalg ops:
+
+    - [sgemm A B C]: C += A * B (single precision)
+    - [sgemv A x y]: y += A * x
+    - [stranspose ~perm A B]
+    - [sreshape_copy ~grouping A B] *)
+
+open Ir
+
+val register : unit -> unit
+
+val sgemm : Builder.t -> Core.value -> Core.value -> Core.value -> Core.op
+val sgemv : Builder.t -> Core.value -> Core.value -> Core.value -> Core.op
+
+(** MKL-DNN-style convolution primitive: [sconv2d I W O]. *)
+val sconv2d : Builder.t -> Core.value -> Core.value -> Core.value -> Core.op
+
+val stranspose :
+  Builder.t -> perm:int array -> Core.value -> Core.value -> Core.op
+
+val sreshape_copy :
+  Builder.t -> grouping:int list list -> Core.value -> Core.value -> Core.op
+
+val is_blas : Core.op -> bool

@@ -1,0 +1,1 @@
+lib/interp/buffer.ml: Array Float Format Ir Printf Random String

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Affine Affine_map Array Attr Buffer Core Format Hashtbl Ir Kernels Linalg List Printer Typ

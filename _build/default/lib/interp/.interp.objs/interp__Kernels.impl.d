@@ -1,0 +1,1 @@
+lib/interp/kernels.ml: Array Buffer Ir Linalg List Support

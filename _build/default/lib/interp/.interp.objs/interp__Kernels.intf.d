@@ -1,0 +1,1 @@
+lib/interp/kernels.mli: Buffer Ir

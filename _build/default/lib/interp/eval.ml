@@ -1,0 +1,240 @@
+open Ir
+module A = Affine.Affine_ops
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type rv = R_float of float | R_int of int | R_buf of Buffer.t
+
+type env = { values : (int, rv) Hashtbl.t }
+
+let bind env (v : Core.value) rv = Hashtbl.replace env.values v.v_id rv
+
+let lookup env (v : Core.value) =
+  match Hashtbl.find_opt env.values v.v_id with
+  | Some rv -> rv
+  | None -> fail "interp: value %s has no runtime binding" (Printer.debug_value v)
+
+let as_int env v =
+  match lookup env v with
+  | R_int i -> i
+  | _ -> fail "interp: expected an integer value"
+
+let as_float env v =
+  match lookup env v with
+  | R_float f -> f
+  | R_int i -> float_of_int i
+  | _ -> fail "interp: expected a float value"
+
+let as_buf env v =
+  match lookup env v with
+  | R_buf b -> b
+  | _ -> fail "interp: expected a buffer value"
+
+let eval_bound env ~minimize ((map, args) : A.bound) =
+  let dims = Array.of_list (List.map (as_int env) args) in
+  let results = Affine_map.eval map ~dims () in
+  Array.fold_left
+    (if minimize then min else max)
+    results.(0)
+    results
+
+let access_indices env op =
+  let map = A.access_map op in
+  let dims = Array.of_list (List.map (as_int env) (A.access_indices op)) in
+  Affine_map.eval map ~dims ()
+
+let float_binop name =
+  match name with
+  | "arith.addf" -> ( +. )
+  | "arith.subf" -> ( -. )
+  | "arith.mulf" -> ( *. )
+  | "arith.divf" -> ( /. )
+  | _ -> assert false
+
+let int_binop name =
+  match name with
+  | "arith.addi" -> ( + )
+  | "arith.subi" -> ( - )
+  | "arith.muli" -> ( * )
+  | "arith.floordivsi" ->
+      fun x y ->
+        if y = 0 then fail "interp: division by zero"
+        else if x >= 0 then x / y
+        else -(((-x) + y - 1) / y)
+  | "arith.remsi" ->
+      fun x y ->
+        if y <= 0 then fail "interp: remainder by non-positive"
+        else ((x mod y) + y) mod y
+  | _ -> assert false
+
+let rec exec_block env (b : Core.block) =
+  List.iter (exec_op env) (Core.ops_of_block b)
+
+and exec_op env (op : Core.op) =
+  match op.o_name with
+  | "affine.yield" | "scf.yield" | "func.return" | "memref.dealloc" -> ()
+  | "arith.constant" -> (
+      match Core.attr op "value" with
+      | Attr.Float f -> bind env (Core.result op 0) (R_float f)
+      | Attr.Int i -> bind env (Core.result op 0) (R_int i)
+      | a -> fail "interp: bad constant %s" (Attr.to_string a))
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" ->
+      let f = float_binop op.o_name in
+      bind env (Core.result op 0)
+        (R_float (f (as_float env (Core.operand op 0))
+                    (as_float env (Core.operand op 1))))
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.floordivsi"
+  | "arith.remsi" ->
+      let f = int_binop op.o_name in
+      bind env (Core.result op 0)
+        (R_int (f (as_int env (Core.operand op 0))
+                  (as_int env (Core.operand op 1))))
+  | "memref.alloc" ->
+      bind env (Core.result op 0)
+        (R_buf (Buffer.of_type (Core.result op 0).v_typ))
+  | "affine.for" ->
+      let lb = eval_bound env ~minimize:false (A.for_lb op) in
+      let ub = eval_bound env ~minimize:true (A.for_ub op) in
+      let step = A.for_step op in
+      let body = Core.single_block op 0 in
+      let iv = body.b_args.(0) in
+      let i = ref lb in
+      while !i < ub do
+        bind env iv (R_int !i);
+        exec_block env body;
+        i := !i + step
+      done
+  | "scf.for" ->
+      let lb = as_int env (Core.operand op 0) in
+      let ub = as_int env (Core.operand op 1) in
+      let step = as_int env (Core.operand op 2) in
+      if step <= 0 then fail "interp: scf.for with non-positive step";
+      let body = Core.single_block op 0 in
+      let iv = body.b_args.(0) in
+      let i = ref lb in
+      while !i < ub do
+        bind env iv (R_int !i);
+        exec_block env body;
+        i := !i + step
+      done
+  | "memref.load" ->
+      let buf = as_buf env (Core.operand op 0) in
+      let idx =
+        Array.init
+          (Array.length op.o_operands - 1)
+          (fun i -> as_int env (Core.operand op (i + 1)))
+      in
+      bind env (Core.result op 0) (R_float (Buffer.get buf idx))
+  | "memref.store" ->
+      let buf = as_buf env (Core.operand op 1) in
+      let idx =
+        Array.init
+          (Array.length op.o_operands - 2)
+          (fun i -> as_int env (Core.operand op (i + 2)))
+      in
+      Buffer.set buf idx (as_float env (Core.operand op 0))
+  | "affine.load" ->
+      let buf = as_buf env (A.access_memref op) in
+      bind env (Core.result op 0) (R_float (Buffer.get buf (access_indices env op)))
+  | "affine.store" ->
+      let buf = as_buf env (A.access_memref op) in
+      Buffer.set buf (access_indices env op)
+        (as_float env (A.stored_value op))
+  | "affine.apply" ->
+      let map = Attr.get_map (Core.attr op "map") in
+      let dims =
+        Array.of_list
+          (List.map (as_int env) (Array.to_list op.o_operands))
+      in
+      bind env (Core.result op 0) (R_int (Affine_map.eval map ~dims ()).(0))
+  | "affine.matmul" | "linalg.matmul" | "blas.sgemm" ->
+      Kernels.matmul
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+        (as_buf env (Core.operand op 2))
+  | "linalg.matvec" | "blas.sgemv" ->
+      let transpose =
+        match Core.find_attr op "transpose" with
+        | Some (Attr.Bool b) -> b
+        | _ -> false
+      in
+      Kernels.matvec ~transpose
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+        (as_buf env (Core.operand op 2))
+  | "linalg.transpose" | "blas.stranspose" ->
+      let perm =
+        Array.of_list (Attr.get_ints (Core.attr op "permutation"))
+      in
+      Kernels.transpose ~perm
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+  | "linalg.reshape" | "blas.sreshape_copy" ->
+      Kernels.reshape_copy
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+  | "linalg.conv2d_nchw" | "blas.sconv2d" ->
+      Kernels.conv2d_nchw
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+        (as_buf env (Core.operand op 2))
+  | "linalg.contract" ->
+      let maps = Linalg.Linalg_ops.contract_maps op in
+      let shapes =
+        List.map
+          (fun v -> (as_buf env v).Buffer.shape)
+          (Array.to_list op.o_operands)
+      in
+      let dims = Kernels.infer_contract_dims ~maps ~shapes in
+      Kernels.contract ~maps ~dims
+        (as_buf env (Core.operand op 0))
+        (as_buf env (Core.operand op 1))
+        (as_buf env (Core.operand op 2))
+  | "linalg.fill" ->
+      Kernels.fill
+        (Attr.get_float (Core.attr op "value"))
+        (as_buf env (Core.operand op 0))
+  | name -> fail "interp: unsupported operation '%s'" name
+
+let run_func f args =
+  if not (Core.is_func f) then invalid_arg "Interp.run_func: not a func.func";
+  let params = Core.func_args f in
+  if List.length params <> List.length args then
+    fail "interp: %s expects %d arguments, got %d" (Core.func_name f)
+      (List.length params) (List.length args);
+  let env = { values = Hashtbl.create 256 } in
+  List.iter2
+    (fun (p : Core.value) buf ->
+      (match Typ.static_shape p.v_typ with
+      | Some shape when shape = Array.to_list buf.Buffer.shape -> ()
+      | Some _ -> fail "interp: argument shape mismatch for %s"
+                    (Printer.debug_value p)
+      | None -> fail "interp: dynamic argument shapes unsupported");
+      bind env p (R_buf buf))
+    params args;
+  exec_block env (Core.func_entry f)
+
+let run m name args =
+  match Core.find_func m name with
+  | Some f -> run_func f args
+  | None -> fail "interp: no function named %S" name
+
+let alloc_args f =
+  List.map (fun (p : Core.value) -> Buffer.of_type p.v_typ) (Core.func_args f)
+
+let run_on_random m name ~seed =
+  match Core.find_func m name with
+  | Some f ->
+      let args = alloc_args f in
+      List.iteri (fun i b -> Buffer.randomize ~seed:(seed + i) b) args;
+      run_func f args;
+      args
+  | None -> fail "interp: no function named %S" name
+
+let equivalent ?eps m1 m2 name ~seed =
+  let r1 = run_on_random m1 name ~seed in
+  let r2 = run_on_random m2 name ~seed in
+  List.length r1 = List.length r2
+  && List.for_all2 (Buffer.approx_equal ?eps) r1 r2

@@ -1,0 +1,30 @@
+(** The IR interpreter: executes functions at any abstraction level (affine
+    loops, scf loops, Linalg named ops, BLAS calls) over real float buffers.
+
+    This is the reproduction's semantic ground truth: every raising or
+    lowering path is validated by checking that the transformed function
+    computes the same buffers as the original (the paper relies on MLIR's
+    verifier and testing for this).
+
+    Interpretation is intentionally simple and slow; performance questions
+    are answered by the {!Machine} library instead. *)
+
+exception Runtime_error of string
+
+(** [run_func f args] executes a [func.func]; [args] provides one buffer
+    per memref argument (mutated in place). *)
+val run_func : Ir.Core.op -> Buffer.t list -> unit
+
+(** [run m name args] — look up and run a function of a module. *)
+val run : Ir.Core.op -> string -> Buffer.t list -> unit
+
+(** [run_on_random m name ~seed shapes] — convenience for tests: allocate
+    buffers per the function signature, fill them with reproducible random
+    data, run, and return the buffers. *)
+val run_on_random : Ir.Core.op -> string -> seed:int -> Buffer.t list
+
+(** [equivalent m1 m2 name ~seed] — run the same-named function of two
+    modules on identical random inputs and compare all buffers. Returns
+    the maximum element-wise difference. *)
+val equivalent : ?eps:float -> Ir.Core.op -> Ir.Core.op -> string ->
+  seed:int -> bool

@@ -1,0 +1,153 @@
+module D = Support.Diag
+
+let matmul a b c =
+  let m = c.Buffer.shape.(0) and n = c.Buffer.shape.(1) in
+  let k = a.Buffer.shape.(1) in
+  if
+    a.Buffer.shape.(0) <> m || b.Buffer.shape.(0) <> k
+    || b.Buffer.shape.(1) <> n
+  then invalid_arg "Kernels.matmul: shape mismatch";
+  let ad = a.Buffer.data and bd = b.Buffer.data and cd = c.Buffer.data in
+  for i = 0 to m - 1 do
+    for kk = 0 to k - 1 do
+      let aik = ad.((i * k) + kk) in
+      if aik <> 0. then
+        for j = 0 to n - 1 do
+          cd.((i * n) + j) <- cd.((i * n) + j) +. (aik *. bd.((kk * n) + j))
+        done
+    done
+  done
+
+let matvec ?(transpose = false) a x y =
+  let m = a.Buffer.shape.(0) and n = a.Buffer.shape.(1) in
+  let ad = a.Buffer.data and xd = x.Buffer.data and yd = y.Buffer.data in
+  if transpose then begin
+    if x.Buffer.shape.(0) <> m || y.Buffer.shape.(0) <> n then
+      invalid_arg "Kernels.matvec^T: shape mismatch";
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        yd.(j) <- yd.(j) +. (ad.((i * n) + j) *. xd.(i))
+      done
+    done
+  end
+  else begin
+    if x.Buffer.shape.(0) <> n || y.Buffer.shape.(0) <> m then
+      invalid_arg "Kernels.matvec: shape mismatch";
+    for i = 0 to m - 1 do
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. (ad.((i * n) + j) *. xd.(j))
+      done;
+      yd.(i) <- yd.(i) +. !acc
+    done
+  end
+
+let transpose ~perm src dst =
+  if Linalg.Linalg_ops.transposed_shape perm (Array.to_list src.Buffer.shape)
+     <> Array.to_list dst.Buffer.shape
+  then invalid_arg "Kernels.transpose: shape mismatch";
+  let rank = Buffer.rank dst in
+  let inv = Ir.Affine_map.inverse_permutation perm in
+  let src_idx = Array.make rank 0 in
+  let dst_idx = Array.make rank 0 in
+  (* dst dim d draws from src dim perm.(d): src_idx.(j) = dst_idx.(inv.(j)). *)
+  let rec go d =
+    if d = rank then begin
+      for j = 0 to rank - 1 do
+        src_idx.(j) <- dst_idx.(inv.(j))
+      done;
+      Buffer.set dst dst_idx (Buffer.get src src_idx)
+    end
+    else
+      for i = 0 to dst.Buffer.shape.(d) - 1 do
+        dst_idx.(d) <- i;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let reshape_copy src dst =
+  if Buffer.num_elements src <> Buffer.num_elements dst then
+    invalid_arg "Kernels.reshape_copy: element count mismatch";
+  Array.blit src.Buffer.data 0 dst.Buffer.data 0 (Buffer.num_elements src)
+
+let conv2d_nchw i w o =
+  match (i.Buffer.shape, w.Buffer.shape, o.Buffer.shape) with
+  | [| n; c; h; ww |], [| f; c'; kh; kw |], [| n'; f'; oh; ow |]
+    when c = c' && n = n' && f = f' && oh = h - kh + 1 && ow = ww - kw + 1 ->
+      for nn = 0 to n - 1 do
+        for ff = 0 to f - 1 do
+          for y = 0 to oh - 1 do
+            for x = 0 to ow - 1 do
+              let acc = ref (Buffer.get o [| nn; ff; y; x |]) in
+              for cc = 0 to c - 1 do
+                for r = 0 to kh - 1 do
+                  for s = 0 to kw - 1 do
+                    acc :=
+                      !acc
+                      +. Buffer.get i [| nn; cc; y + r; x + s |]
+                         *. Buffer.get w [| ff; cc; r; s |]
+                  done
+                done
+              done;
+              Buffer.set o [| nn; ff; y; x |] !acc
+            done
+          done
+        done
+      done
+  | _ -> invalid_arg "Kernels.conv2d_nchw: shape mismatch"
+
+let contract ~maps ~dims a b c =
+  match maps with
+  | [ ma; mb; mc ] ->
+      let idx = Array.make (Array.length dims) 0 in
+      let rec go d =
+        if d = Array.length dims then begin
+          let ia = Ir.Affine_map.eval ma ~dims:idx () in
+          let ib = Ir.Affine_map.eval mb ~dims:idx () in
+          let ic = Ir.Affine_map.eval mc ~dims:idx () in
+          Buffer.set c ic
+            (Buffer.get c ic +. (Buffer.get a ia *. Buffer.get b ib))
+        end
+        else
+          for i = 0 to dims.(d) - 1 do
+            idx.(d) <- i;
+            go (d + 1)
+          done
+      in
+      go 0
+  | _ -> invalid_arg "Kernels.contract: expected three maps"
+
+let fill v b = Buffer.fill b v
+
+let infer_contract_dims ~maps ~shapes =
+  let n_dims =
+    match maps with
+    | m :: _ -> m.Ir.Affine_map.n_dims
+    | [] -> D.errorf "infer_contract_dims: no maps"
+  in
+  let dims = Array.make n_dims (-1) in
+  List.iter2
+    (fun (m : Ir.Affine_map.t) shape ->
+      List.iteri
+        (fun pos e ->
+          match Ir.Affine_expr.is_single_dim e with
+          | Some (1, d, 0) ->
+              let extent = shape.(pos) in
+              if dims.(d) = -1 then dims.(d) <- extent
+              else if dims.(d) <> extent then
+                D.errorf
+                  "infer_contract_dims: dim d%d bound to both %d and %d" d
+                  dims.(d) extent
+          | _ ->
+              (* Non-trivial result expressions (e.g. conv windows) do not
+                 pin an extent by themselves. *)
+              ())
+        m.exprs)
+    maps shapes;
+  Array.iteri
+    (fun d e ->
+      if e = -1 then
+        D.errorf "infer_contract_dims: dimension d%d is unconstrained" d)
+    dims;
+  dims

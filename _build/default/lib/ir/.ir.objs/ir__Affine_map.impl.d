@@ -1,0 +1,1 @@
+lib/ir/affine_map.ml: Affine_expr Array Format Fun List Printf

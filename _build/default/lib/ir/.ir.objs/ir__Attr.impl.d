@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Affine_map Format List Printf String Typ

@@ -1,0 +1,1 @@
+lib/ir/attr.mli: Affine_map Format Typ

@@ -1,0 +1,1 @@
+lib/ir/core.mli: Attr Typ

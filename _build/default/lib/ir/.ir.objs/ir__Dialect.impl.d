@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Core Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Affine_expr Affine_map Array Attr Builder Core Hashtbl List Printf String Support Typ Verifier

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Core List Support Unix Verifier

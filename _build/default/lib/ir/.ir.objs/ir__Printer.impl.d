@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Affine_expr Affine_map Array Attr Core Format Hashtbl List Printf String Typ

@@ -1,0 +1,1 @@
+lib/ir/rewriter.ml: Array Builder Core List Support

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Core Dialect Format Hashtbl List Printer Support

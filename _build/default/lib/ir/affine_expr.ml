@@ -1,0 +1,202 @@
+type t =
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of t * t
+  | Mul of t * t
+  | Floor_div of t * t
+  | Mod of t * t
+
+let dim i = Dim i
+let sym i = Sym i
+let const c = Const c
+
+type linear = {
+  dim_coeffs : (int * int) list;
+  sym_coeffs : (int * int) list;
+  constant : int;
+}
+
+let lin_const c = { dim_coeffs = []; sym_coeffs = []; constant = c }
+
+(* Merge two sorted coefficient lists, dropping zero coefficients. *)
+let merge_coeffs a b =
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (ia, ca) :: ta, (ib, cb) :: tb ->
+        if ia < ib then (ia, ca) :: go ta b
+        else if ib < ia then (ib, cb) :: go a tb
+        else
+          let c = ca + cb in
+          if c = 0 then go ta tb else (ia, c) :: go ta tb
+  in
+  go a b
+
+let lin_add a b =
+  {
+    dim_coeffs = merge_coeffs a.dim_coeffs b.dim_coeffs;
+    sym_coeffs = merge_coeffs a.sym_coeffs b.sym_coeffs;
+    constant = a.constant + b.constant;
+  }
+
+let lin_scale k l =
+  if k = 0 then lin_const 0
+  else
+    {
+      dim_coeffs = List.map (fun (i, c) -> (i, k * c)) l.dim_coeffs;
+      sym_coeffs = List.map (fun (i, c) -> (i, k * c)) l.sym_coeffs;
+      constant = k * l.constant;
+    }
+
+let rec linearize = function
+  | Dim i -> Some { dim_coeffs = [ (i, 1) ]; sym_coeffs = []; constant = 0 }
+  | Sym i -> Some { dim_coeffs = []; sym_coeffs = [ (i, 1) ]; constant = 0 }
+  | Const c -> Some (lin_const c)
+  | Add (a, b) -> (
+      match (linearize a, linearize b) with
+      | Some la, Some lb -> Some (lin_add la lb)
+      | _ -> None)
+  | Mul (a, b) -> (
+      match (linearize a, linearize b) with
+      | Some la, Some lb -> (
+          match (la, lb) with
+          | { dim_coeffs = []; sym_coeffs = []; constant = k }, l
+          | l, { dim_coeffs = []; sym_coeffs = []; constant = k } ->
+              Some (lin_scale k l)
+          | _ -> None)
+      | _ -> None)
+  | Floor_div _ | Mod _ -> None
+
+let of_linear l =
+  let term acc mk (i, c) =
+    let t = if c = 1 then mk i else Mul (Const c, mk i) in
+    match acc with None -> Some t | Some a -> Some (Add (a, t))
+  in
+  let acc = List.fold_left (fun a dc -> term a dim dc) None l.dim_coeffs in
+  let acc = List.fold_left (fun a sc -> term a sym sc) acc l.sym_coeffs in
+  match (acc, l.constant) with
+  | None, c -> Const c
+  | Some a, 0 -> a
+  | Some a, c -> Add (a, Const c)
+
+let rec simplify e =
+  match linearize e with
+  | Some l -> of_linear l
+  | None -> (
+      match e with
+      | Dim _ | Sym _ | Const _ -> e
+      | Add (a, b) -> (
+          match (simplify a, simplify b) with
+          | Const x, Const y -> Const (x + y)
+          | Const 0, s | s, Const 0 -> s
+          | sa, sb -> Add (sa, sb))
+      | Mul (a, b) -> (
+          match (simplify a, simplify b) with
+          | Const x, Const y -> Const (x * y)
+          | Const 1, s | s, Const 1 -> s
+          | (Const 0 as z), _ | _, (Const 0 as z) -> z
+          | sa, sb -> Mul (sa, sb))
+      | Floor_div (a, b) -> (
+          match (simplify a, simplify b) with
+          | Const x, Const y when y <> 0 ->
+              (* Floor semantics, also correct for negative numerators. *)
+              Const (if x >= 0 then x / y else -(((-x) + y - 1) / y))
+          | sa, Const 1 -> sa
+          | sa, sb -> Floor_div (sa, sb))
+      | Mod (a, b) -> (
+          match (simplify a, simplify b) with
+          | Const x, Const y when y > 0 -> Const (((x mod y) + y) mod y)
+          | _, Const 1 -> Const 0
+          | sa, sb -> Mod (sa, sb)))
+
+let add a b = simplify (Add (a, b))
+let mul a b = simplify (Mul (a, b))
+let neg a = mul (Const (-1)) a
+let sub a b = add a (neg b)
+let floor_div a b = simplify (Floor_div (a, b))
+let mod_ a b = simplify (Mod (a, b))
+
+let rec eval ~dims ~syms = function
+  | Dim i ->
+      if i < 0 || i >= Array.length dims then
+        invalid_arg "Affine_expr.eval: dim out of range"
+      else dims.(i)
+  | Sym i ->
+      if i < 0 || i >= Array.length syms then
+        invalid_arg "Affine_expr.eval: sym out of range"
+      else syms.(i)
+  | Const c -> c
+  | Add (a, b) -> eval ~dims ~syms a + eval ~dims ~syms b
+  | Mul (a, b) -> eval ~dims ~syms a * eval ~dims ~syms b
+  | Floor_div (a, b) ->
+      let x = eval ~dims ~syms a and y = eval ~dims ~syms b in
+      if y = 0 then invalid_arg "Affine_expr.eval: division by zero"
+      else if x >= 0 then x / y
+      else -(((-x) + y - 1) / y)
+  | Mod (a, b) ->
+      let x = eval ~dims ~syms a and y = eval ~dims ~syms b in
+      if y <= 0 then invalid_arg "Affine_expr.eval: modulo by non-positive"
+      else ((x mod y) + y) mod y
+
+let is_constant e =
+  match simplify e with Const c -> Some c | _ -> None
+
+let is_single_dim e =
+  match linearize e with
+  | Some { dim_coeffs = [ (d, k) ]; sym_coeffs = []; constant = c }
+    when k <> 0 ->
+      Some (k, d, c)
+  | _ -> None
+
+let rec fold_vars f acc = function
+  | (Dim _ | Sym _) as v -> f acc v
+  | Const _ -> acc
+  | Add (a, b) | Mul (a, b) | Floor_div (a, b) | Mod (a, b) ->
+      fold_vars f (fold_vars f acc a) b
+
+let used_dims e =
+  fold_vars (fun acc v -> match v with Dim i -> i :: acc | _ -> acc) [] e
+  |> List.sort_uniq compare
+
+let max_dim e = List.fold_left (fun m i -> max m (i + 1)) 0 (used_dims e)
+
+let rec substitute_dims f = function
+  | Dim i -> f i
+  | (Sym _ | Const _) as e -> e
+  | Add (a, b) -> add (substitute_dims f a) (substitute_dims f b)
+  | Mul (a, b) -> mul (substitute_dims f a) (substitute_dims f b)
+  | Floor_div (a, b) -> floor_div (substitute_dims f a) (substitute_dims f b)
+  | Mod (a, b) -> mod_ (substitute_dims f a) (substitute_dims f b)
+
+let equal a b = simplify a = simplify b
+let compare a b = Stdlib.compare (simplify a) (simplify b)
+
+(* Precedence: 1 = additive, 2 = multiplicative, 3 = atom. A child is
+   parenthesized when its precedence is below what its context requires. *)
+let prec = function
+  | Dim _ | Sym _ | Const _ -> 3
+  | Mul _ | Floor_div _ | Mod _ -> 2
+  | Add _ -> 1
+
+let rec pp_prec req fmt e =
+  let wrap = prec e < req in
+  if wrap then Format.fprintf fmt "(";
+  (match e with
+  | Dim i -> Format.fprintf fmt "d%d" i
+  | Sym i -> Format.fprintf fmt "s%d" i
+  | Const c -> Format.fprintf fmt "%d" c
+  | Add (a, Const c) when c < 0 ->
+      Format.fprintf fmt "%a - %d" (pp_prec 1) a (-c)
+  | Add (a, Mul (Const (-1), b)) ->
+      Format.fprintf fmt "%a - %a" (pp_prec 1) a (pp_prec 2) b
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" (pp_prec 1) a (pp_prec 1) b
+  | Mul (a, b) -> Format.fprintf fmt "%a * %a" (pp_prec 2) a (pp_prec 2) b
+  | Floor_div (a, b) ->
+      Format.fprintf fmt "%a floordiv %a" (pp_prec 3) a (pp_prec 3) b
+  | Mod (a, b) -> Format.fprintf fmt "%a mod %a" (pp_prec 3) a (pp_prec 3) b);
+  if wrap then Format.fprintf fmt ")"
+
+let pp fmt e = pp_prec 0 fmt e
+
+let to_string e = Format.asprintf "%a" pp e

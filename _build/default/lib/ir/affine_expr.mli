@@ -1,0 +1,77 @@
+(** Affine expressions over dimension and symbol variables.
+
+    As in MLIR, affine expressions are a built-in concept of the IR (they
+    appear inside attributes via {!Affine_map}), not part of the affine
+    dialect. An expression is built from dimensions [d0, d1, ...], symbols
+    [s0, s1, ...], integer constants, and the operators [+], [-], [*],
+    [floordiv], [mod]; multiplication and division are restricted to a
+    constant right-hand side, keeping expressions affine. *)
+
+type t =
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of t * t
+  | Mul of t * t  (** rhs must be affine-constant after simplification *)
+  | Floor_div of t * t
+  | Mod of t * t
+
+val dim : int -> t
+val sym : int -> t
+val const : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val floor_div : t -> t -> t
+val mod_ : t -> t -> t
+
+(** {2 Linear (canonical) form} *)
+
+(** The canonical form of a purely linear affine expression:
+    [sum_i coeff(d_i) * d_i + sum_j coeff(s_j) * s_j + const].
+    Expressions containing [floordiv] or [mod] have no linear form. *)
+type linear = {
+  dim_coeffs : (int * int) list;  (** (dim index, coefficient), coeff <> 0 *)
+  sym_coeffs : (int * int) list;  (** (sym index, coefficient), coeff <> 0 *)
+  constant : int;
+}
+
+(** [linearize e] computes the linear form, or [None] if [e] is not purely
+    linear (contains floordiv/mod) or multiplies two non-constant terms. *)
+val linearize : t -> linear option
+
+(** [of_linear l] rebuilds a simplified expression from a linear form. *)
+val of_linear : linear -> t
+
+(** [simplify e] canonicalizes: folds constants, flattens sums, and orders
+    terms by variable index when [e] is purely linear; otherwise simplifies
+    sub-expressions recursively. *)
+val simplify : t -> t
+
+(** {2 Queries} *)
+
+(** [eval ~dims ~syms e] evaluates with the given variable bindings.
+    Raises [Invalid_argument] on out-of-range indices. *)
+val eval : dims:int array -> syms:int array -> t -> int
+
+(** [is_constant e] returns the constant value if [e] simplifies to one. *)
+val is_constant : t -> int option
+
+(** [is_single_dim e] returns [(k, d, c)] when [e] is [k*d_d + c] with
+    [k <> 0] — the shape the paper's access placeholders match. *)
+val is_single_dim : t -> (int * int * int) option
+
+(** [used_dims e] is the sorted list of dimension indices occurring in [e]. *)
+val used_dims : t -> int list
+
+(** [max_dim e] is [1 + ] the largest dimension index in [e], or [0]. *)
+val max_dim : t -> int
+
+(** [substitute_dims f e] replaces every [Dim i] with [f i]. *)
+val substitute_dims : (int -> t) -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,118 @@
+module E = Affine_expr
+
+type t = { n_dims : int; n_syms : int; exprs : E.t list }
+
+let check_ranges ~n_dims ~n_syms e =
+  let rec go = function
+    | E.Dim i ->
+        if i < 0 || i >= n_dims then
+          invalid_arg
+            (Printf.sprintf "Affine_map: dim d%d out of range (n_dims=%d)" i
+               n_dims)
+    | E.Sym i ->
+        if i < 0 || i >= n_syms then
+          invalid_arg
+            (Printf.sprintf "Affine_map: sym s%d out of range (n_syms=%d)" i
+               n_syms)
+    | E.Const _ -> ()
+    | E.Add (a, b) | E.Mul (a, b) | E.Floor_div (a, b) | E.Mod (a, b) ->
+        go a;
+        go b
+  in
+  go e
+
+let make ~n_dims ?(n_syms = 0) exprs =
+  let exprs = List.map E.simplify exprs in
+  List.iter (check_ranges ~n_dims ~n_syms) exprs;
+  { n_dims; n_syms; exprs }
+
+let identity n = make ~n_dims:n (List.init n E.dim)
+let constant_map cs = make ~n_dims:0 (List.map E.const cs)
+
+let permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Affine_map.permutation: not a permutation";
+      seen.(i) <- true)
+    p;
+  make ~n_dims:n (Array.to_list (Array.map E.dim p))
+
+let n_results t = List.length t.exprs
+
+let eval t ~dims ?(syms = [||]) () =
+  if Array.length dims <> t.n_dims then
+    invalid_arg "Affine_map.eval: wrong number of dims";
+  if Array.length syms <> t.n_syms then
+    invalid_arg "Affine_map.eval: wrong number of syms";
+  Array.of_list (List.map (E.eval ~dims ~syms) t.exprs)
+
+let compose f g =
+  if n_results g <> f.n_dims then
+    invalid_arg "Affine_map.compose: rank mismatch";
+  if f.n_syms <> 0 then
+    invalid_arg "Affine_map.compose: outer map must be symbol-free";
+  let g_results = Array.of_list g.exprs in
+  let exprs =
+    List.map (E.substitute_dims (fun i -> g_results.(i))) f.exprs
+  in
+  make ~n_dims:g.n_dims ~n_syms:g.n_syms exprs
+
+let is_identity t =
+  t.n_syms = 0
+  && n_results t = t.n_dims
+  && List.for_all2
+       (fun e i -> E.equal e (E.dim i))
+       t.exprs
+       (List.init t.n_dims Fun.id)
+
+let is_permutation t =
+  if t.n_syms <> 0 || n_results t <> t.n_dims then None
+  else
+    let p = Array.make t.n_dims (-1) in
+    let seen = Array.make t.n_dims false in
+    let ok =
+      List.for_all2
+        (fun e i ->
+          match e with
+          | E.Dim d when not seen.(d) ->
+              seen.(d) <- true;
+              p.(i) <- d;
+              true
+          | _ -> false)
+        t.exprs
+        (List.init t.n_dims Fun.id)
+    in
+    if ok then Some p else None
+
+let inverse_permutation p =
+  let n = Array.length p in
+  let q = Array.make n (-1) in
+  Array.iteri (fun i pi -> q.(pi) <- i) p;
+  q
+
+let minor_identity ~n_dims ~results = make ~n_dims (List.map E.dim results)
+
+let equal a b =
+  a.n_dims = b.n_dims && a.n_syms = b.n_syms
+  && List.length a.exprs = List.length b.exprs
+  && List.for_all2 E.equal a.exprs b.exprs
+
+let pp fmt t =
+  let pp_vars fmt (prefix, n) =
+    for i = 0 to n - 1 do
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s%d" prefix i
+    done
+  in
+  Format.fprintf fmt "(%a)" pp_vars ("d", t.n_dims);
+  if t.n_syms > 0 then Format.fprintf fmt "[%a]" pp_vars ("s", t.n_syms);
+  Format.fprintf fmt " -> (%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       E.pp)
+    t.exprs
+
+let to_string t = Format.asprintf "%a" pp t

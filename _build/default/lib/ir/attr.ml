@@ -1,0 +1,76 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Type of Typ.t
+  | Ints of int list
+  | Map of Affine_map.t
+  | Grouping of int list list
+  | List of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Type x, Type y -> Typ.equal x y
+  | Ints x, Ints y -> x = y
+  | Map x, Map y -> Affine_map.equal x y
+  | Grouping x, Grouping y -> x = y
+  | List x, List y -> ( try List.for_all2 equal x y with _ -> false)
+  | _ -> false
+
+let rec pp fmt = function
+  | Unit -> Format.fprintf fmt "unit"
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Int i -> Format.fprintf fmt "%d" i
+  | Float f -> Format.fprintf fmt "%h" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Type t -> Typ.pp fmt t
+  | Ints is ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           Format.pp_print_int)
+        is
+  | Map m -> Format.fprintf fmt "affine_map<%a>" Affine_map.pp m
+  | Grouping g ->
+      let pp_group fmt = function
+        | [ d ] -> Format.fprintf fmt "%d" d
+        | ds ->
+            Format.fprintf fmt "{%a}"
+              (Format.pp_print_list
+                 ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+                 Format.pp_print_int)
+              ds
+      in
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           pp_group)
+        g
+  | List l ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           pp)
+        l
+
+let to_string t = Format.asprintf "%a" pp t
+
+let kind_error want got =
+  invalid_arg (Printf.sprintf "Attr: expected %s, got %s" want (to_string got))
+
+let get_int = function Int i -> i | a -> kind_error "int" a
+let get_float = function Float f -> f | a -> kind_error "float" a
+let get_str = function Str s -> s | a -> kind_error "string" a
+let get_bool = function Bool b -> b | a -> kind_error "bool" a
+let get_ints = function Ints is -> is | a -> kind_error "ints" a
+let get_map = function Map m -> m | a -> kind_error "affine map" a
+let get_type = function Type t -> t | a -> kind_error "type" a
+let get_grouping = function Grouping g -> g | a -> kind_error "grouping" a
+let get_list = function List l -> l | a -> kind_error "list" a

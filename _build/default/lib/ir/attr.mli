@@ -1,0 +1,30 @@
+(** Attributes attach compile-time information to operations. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Type of Typ.t
+  | Ints of int list
+  | Map of Affine_map.t
+  | Grouping of int list list
+      (** reshape dimension grouping, e.g. [{{0,1},2}] *)
+  | List of t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Typed accessors} — raise [Invalid_argument] on kind mismatch. *)
+
+val get_int : t -> int
+val get_float : t -> float
+val get_str : t -> string
+val get_bool : t -> bool
+val get_ints : t -> int list
+val get_map : t -> Affine_map.t
+val get_type : t -> Typ.t
+val get_grouping : t -> int list list
+val get_list : t -> t list

@@ -1,0 +1,315 @@
+type value = {
+  v_id : int;
+  mutable v_typ : Typ.t;
+  mutable v_hint : string option;
+  mutable v_def : vdef;
+}
+
+and vdef = Def_op of op * int | Def_block_arg of block * int
+
+and op = {
+  o_id : int;
+  o_name : string;
+  mutable o_operands : value array;
+  mutable o_results : value array;
+  mutable o_attrs : (string * Attr.t) list;
+  o_regions : region array;
+  mutable o_parent : block option;
+}
+
+and block = {
+  b_id : int;
+  mutable b_args : value array;
+  mutable b_ops : op list;
+  mutable b_parent : region option;
+}
+
+and region = { r_id : int; mutable r_blocks : block list }
+
+let ids = Support.Id_gen.global
+let fresh () = Support.Id_gen.next ids
+
+let create_op ?(operands = []) ?(result_types = []) ?(attrs = [])
+    ?(regions = []) name =
+  let op =
+    {
+      o_id = fresh ();
+      o_name = name;
+      o_operands = Array.of_list operands;
+      o_results = [||];
+      o_attrs = attrs;
+      o_regions = Array.of_list regions;
+      o_parent = None;
+    }
+  in
+  op.o_results <-
+    Array.of_list
+      (List.mapi
+         (fun i t ->
+           { v_id = fresh (); v_typ = t; v_hint = None; v_def = Def_op (op, i) })
+         result_types);
+  op
+
+let create_block ?(hints = []) arg_types =
+  let block =
+    { b_id = fresh (); b_args = [||]; b_ops = []; b_parent = None }
+  in
+  block.b_args <-
+    Array.of_list
+      (List.mapi
+         (fun i t ->
+           let hint = List.nth_opt hints i in
+           {
+             v_id = fresh ();
+             v_typ = t;
+             v_hint = hint;
+             v_def = Def_block_arg (block, i);
+           })
+         arg_types);
+  block
+
+let create_region blocks =
+  let r = { r_id = fresh (); r_blocks = blocks } in
+  List.iter (fun b -> b.b_parent <- Some r) blocks;
+  r
+
+let result op i = op.o_results.(i)
+let operand op i = op.o_operands.(i)
+let num_operands op = Array.length op.o_operands
+let num_results op = Array.length op.o_results
+
+let find_attr op name = List.assoc_opt name op.o_attrs
+
+let attr op name =
+  match find_attr op name with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Core.attr: %s has no attribute %S" op.o_name name)
+
+let set_attr op name a =
+  op.o_attrs <- (name, a) :: List.remove_assoc name op.o_attrs
+
+let remove_attr op name = op.o_attrs <- List.remove_assoc name op.o_attrs
+let has_attr op name = Option.is_some (find_attr op name)
+let region op i = op.o_regions.(i)
+
+let single_block op i =
+  match (region op i).r_blocks with
+  | [ b ] -> b
+  | bs ->
+      invalid_arg
+        (Printf.sprintf "Core.single_block: %s region %d has %d blocks"
+           op.o_name i (List.length bs))
+
+(* Map region -> enclosing op, rebuilt lazily. We avoid a region->op pointer
+   to keep [create_op] non-cyclic over regions; lookups scan the block's
+   parent region against candidate ops via a registry keyed by region id. *)
+let region_owner : (int, op) Hashtbl.t = Hashtbl.create 256
+
+let register_regions op =
+  Array.iter (fun r -> Hashtbl.replace region_owner r.r_id op) op.o_regions
+
+let block_parent_op block =
+  match block.b_parent with
+  | None -> None
+  | Some r -> Hashtbl.find_opt region_owner r.r_id
+
+let parent_op op =
+  match op.o_parent with None -> None | Some b -> block_parent_op b
+
+let append_op block op =
+  register_regions op;
+  op.o_parent <- Some block;
+  block.b_ops <- block.b_ops @ [ op ]
+
+let prepend_op block op =
+  register_regions op;
+  op.o_parent <- Some block;
+  block.b_ops <- op :: block.b_ops
+
+let insert_relative ~before ~anchor op =
+  match anchor.o_parent with
+  | None -> invalid_arg "Core.insert: anchor is detached"
+  | Some block ->
+      register_regions op;
+      op.o_parent <- Some block;
+      let rec go = function
+        | [] -> invalid_arg "Core.insert: anchor not found in its block"
+        | o :: rest when o == anchor ->
+            if before then op :: o :: rest else o :: op :: rest
+        | o :: rest -> o :: go rest
+      in
+      block.b_ops <- go block.b_ops
+
+let insert_before ~anchor op = insert_relative ~before:true ~anchor op
+let insert_after ~anchor op = insert_relative ~before:false ~anchor op
+
+let detach_op op =
+  match op.o_parent with
+  | None -> ()
+  | Some block ->
+      block.b_ops <- List.filter (fun o -> not (o == op)) block.b_ops;
+      op.o_parent <- None
+
+let erase_op op =
+  detach_op op;
+  op.o_operands <- [||]
+
+let defining_op v =
+  match v.v_def with Def_op (op, _) -> Some op | Def_block_arg _ -> None
+
+let rec walk root f =
+  f root;
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun b -> List.iter (fun op -> walk op f) b.b_ops)
+        r.r_blocks)
+    root.o_regions
+
+let rec walk_post root f =
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun b -> List.iter (fun op -> walk_post op f) b.b_ops)
+        r.r_blocks)
+    root.o_regions;
+  f root
+
+let rec walk_safe root f =
+  f root;
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          let snapshot = b.b_ops in
+          List.iter
+            (fun op ->
+              (* Skip ops detached by earlier callbacks in this sweep. *)
+              if op.o_parent != None then walk_safe op f)
+            snapshot)
+        r.r_blocks)
+    root.o_regions
+
+let uses root v =
+  let acc = ref [] in
+  walk root (fun op ->
+      Array.iteri
+        (fun i operand -> if operand == v then acc := (op, i) :: !acc)
+        op.o_operands);
+  List.rev !acc
+
+let replace_uses root ~old_v ~new_v =
+  walk root (fun op ->
+      Array.iteri
+        (fun i operand ->
+          if operand == old_v then op.o_operands.(i) <- new_v)
+        op.o_operands)
+
+let set_operand op i v = op.o_operands.(i) <- v
+
+let find_op root p =
+  let exception Found of op in
+  try
+    walk root (fun op -> if op != root && p op then raise (Found op));
+    None
+  with Found op -> Some op
+
+let ops_of_block b = b.b_ops
+
+let create_module () =
+  let block = create_block [] in
+  let region = create_region [ block ] in
+  let m = create_op ~regions:[ region ] "builtin.module" in
+  register_regions m;
+  m
+
+let module_block m =
+  if not (String.equal m.o_name "builtin.module") then
+    invalid_arg "Core.module_block: not a module";
+  single_block m 0
+
+let create_func ~name ~arg_types ?arg_hints ?(result_types = []) () =
+  let entry = create_block ?hints:arg_hints arg_types in
+  let region = create_region [ entry ] in
+  let fn_type = Typ.Fun (arg_types, result_types) in
+  let f =
+    create_op ~regions:[ region ]
+      ~attrs:[ ("sym_name", Attr.Str name); ("function_type", Attr.Type fn_type) ]
+      "func.func"
+  in
+  register_regions f;
+  f
+
+let is_func op = String.equal op.o_name "func.func"
+
+let func_name op =
+  if not (is_func op) then invalid_arg "Core.func_name: not a func.func";
+  Attr.get_str (attr op "sym_name")
+
+let func_entry op =
+  if not (is_func op) then invalid_arg "Core.func_entry: not a func.func";
+  single_block op 0
+
+let func_args op = Array.to_list (func_entry op).b_args
+
+let find_func m name =
+  List.find_opt
+    (fun op -> is_func op && String.equal (func_name op) name)
+    (module_block m).b_ops
+
+let rec clone_op_with map op =
+  let remap v =
+    match Hashtbl.find_opt map v.v_id with Some v' -> v' | None -> v
+  in
+  let regions =
+    Array.to_list op.o_regions
+    |> List.map (fun r ->
+           let blocks =
+             List.map
+               (fun b ->
+                 let b' =
+                   create_block
+                     ?hints:None
+                     (Array.to_list (Array.map (fun a -> a.v_typ) b.b_args))
+                 in
+                 Array.iteri
+                   (fun i a ->
+                     b'.b_args.(i).v_hint <- a.v_hint;
+                     Hashtbl.replace map a.v_id b'.b_args.(i))
+                   b.b_args;
+                 (b, b'))
+               r.r_blocks
+           in
+           (* Clone block contents after all block args are mapped. *)
+           List.iter
+             (fun (b, b') ->
+               List.iter
+                 (fun child -> append_op b' (clone_op_with map child))
+                 b.b_ops)
+             blocks;
+           create_region (List.map snd blocks))
+  in
+  let op' =
+    create_op
+      ~operands:(List.map remap (Array.to_list op.o_operands))
+      ~result_types:(Array.to_list (Array.map (fun r -> r.v_typ) op.o_results))
+      ~attrs:op.o_attrs ~regions op.o_name
+  in
+  register_regions op';
+  Array.iteri
+    (fun i r ->
+      op'.o_results.(i).v_hint <- r.v_hint;
+      Hashtbl.replace map r.v_id op'.o_results.(i))
+    op.o_results;
+  op'
+
+let clone_op op = clone_op_with (Hashtbl.create 64) op
+
+let clone_ops ops =
+  let map = Hashtbl.create 64 in
+  List.map (clone_op_with map) ops
+
+let op_equal a b = a == b
+let value_equal a b = a == b

@@ -1,0 +1,179 @@
+(** The IR object graph: SSA values, operations, blocks and regions.
+
+    Mirrors MLIR's structure: an {e operation} has operands, results,
+    attributes and nested {e regions}; a region holds {e blocks}; a block
+    holds block arguments and an ordered list of operations. Functions and
+    modules are themselves operations ([func.func], [builtin.module]), so a
+    single recursive structure describes whole programs.
+
+    Use-def information is stored in the def direction only ([v_def]);
+    use lists are computed on demand by scanning from a root operation,
+    which keeps destructive rewriting simple and hard to corrupt. *)
+
+type value = {
+  v_id : int;
+  mutable v_typ : Typ.t;
+      (** mutable for type-rewriting passes (e.g. delinearization); the
+          rewriter must keep every use consistent and re-verify *)
+  mutable v_hint : string option;  (** printer name hint, e.g. ["i"] *)
+  mutable v_def : vdef;
+}
+
+and vdef =
+  | Def_op of op * int  (** result [i] of an operation *)
+  | Def_block_arg of block * int
+
+and op = {
+  o_id : int;
+  o_name : string;  (** fully qualified, e.g. ["affine.for"] *)
+  mutable o_operands : value array;
+  mutable o_results : value array;
+      (** mutable only to tie the construction knot; never reassigned *)
+  mutable o_attrs : (string * Attr.t) list;
+  o_regions : region array;
+  mutable o_parent : block option;
+}
+
+and block = {
+  b_id : int;
+  mutable b_args : value array;
+  mutable b_ops : op list;
+  mutable b_parent : region option;
+}
+
+and region = { r_id : int; mutable r_blocks : block list }
+
+(** {2 Construction} *)
+
+(** [create_op name ~operands ~result_types ~attrs ~regions] builds a
+    detached operation and its result values. *)
+val create_op :
+  ?operands:value list ->
+  ?result_types:Typ.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:region list ->
+  string ->
+  op
+
+(** [create_block arg_types] builds a detached block with fresh argument
+    values; [hints] optionally names them. *)
+val create_block : ?hints:string list -> Typ.t list -> block
+
+val create_region : block list -> region
+
+(** {2 Accessors} *)
+
+val result : op -> int -> value
+val operand : op -> int -> value
+val num_operands : op -> int
+val num_results : op -> int
+
+val attr : op -> string -> Attr.t
+(** Raises [Invalid_argument] if absent; [find_attr] for the option form. *)
+
+val find_attr : op -> string -> Attr.t option
+val set_attr : op -> string -> Attr.t -> unit
+val remove_attr : op -> string -> unit
+val has_attr : op -> string -> bool
+
+val region : op -> int -> region
+
+(** Sole block of the operation's [i]-th region (raises if not single-block). *)
+val single_block : op -> int -> block
+
+(** The parent operation owning the block this op lives in, if attached. *)
+val parent_op : op -> op option
+
+(** The region's enclosing op, found by walking up from its first block's
+    parent pointers; only valid while attached. *)
+val block_parent_op : block -> op option
+
+(** {2 Block surgery} *)
+
+val append_op : block -> op -> unit
+val prepend_op : block -> op -> unit
+
+(** [insert_before ~anchor op] places [op] just before [anchor] in the
+    anchor's block. Raises if [anchor] is detached. *)
+val insert_before : anchor:op -> op -> unit
+
+val insert_after : anchor:op -> op -> unit
+
+(** Detach [op] from its block (no-op if already detached). *)
+val detach_op : op -> unit
+
+(** Detach and structurally invalidate: erased ops must not be reused. *)
+val erase_op : op -> unit
+
+(** {2 Use-def queries and mutation} *)
+
+(** [defining_op v] is [Some op] when [v] is an op result. *)
+val defining_op : value -> op option
+
+(** [uses root v] lists [(user, operand index)] pairs under [root]
+    (inclusive of [root] itself). *)
+val uses : op -> value -> (op * int) list
+
+(** [replace_uses root ~old_v ~new_v] rewrites every operand under [root]. *)
+val replace_uses : op -> old_v:value -> new_v:value -> unit
+
+val set_operand : op -> int -> value -> unit
+
+(** {2 Traversal} *)
+
+(** Pre-order walk over [root] and all transitively nested operations. *)
+val walk : op -> (op -> unit) -> unit
+
+(** Post-order variant (children before parents). *)
+val walk_post : op -> (op -> unit) -> unit
+
+(** Walk that may erase/replace the visited op: iterates over a snapshot. *)
+val walk_safe : op -> (op -> unit) -> unit
+
+(** First nested op (pre-order, excluding root) satisfying the predicate. *)
+val find_op : op -> (op -> bool) -> op option
+
+val ops_of_block : block -> op list
+
+(** {2 Module / function conveniences} *)
+
+(** [create_module ()] builds an empty [builtin.module] with one region and
+    one block. *)
+val create_module : unit -> op
+
+val module_block : op -> block
+
+(** [create_func ~name ~arg_types ?arg_hints ~result_types ()] builds a
+    [func.func] op whose region has an entry block with the argument
+    values. *)
+val create_func :
+  name:string ->
+  arg_types:Typ.t list ->
+  ?arg_hints:string list ->
+  ?result_types:Typ.t list ->
+  unit ->
+  op
+
+val func_name : op -> string
+val func_entry : op -> block
+val func_args : op -> value list
+val is_func : op -> bool
+
+(** [find_func m name] looks up a function by symbol name in a module. *)
+val find_func : op -> string -> op option
+
+(** {2 Deep copy} *)
+
+(** [clone_op op] deep-copies an operation tree. Operands defined outside
+    the cloned tree are kept as-is; values defined inside are remapped. *)
+val clone_op : op -> op
+
+(** [clone_ops ops] deep-copies a sequence of operations with a shared
+    remap table, so references between the clones stay internal (what a
+    loop-body duplication needs). *)
+val clone_ops : op list -> op list
+
+(** Equality by identity (ops and values are unique graph nodes). *)
+val op_equal : op -> op -> bool
+
+val value_equal : value -> value -> bool

@@ -1,0 +1,41 @@
+type op_def = {
+  od_name : string;
+  od_verify : Core.op -> unit;
+  od_terminator : bool;
+  od_commutative : bool;
+  od_summary : string;
+}
+
+let no_verify (_ : Core.op) = ()
+
+let def ?(verify = no_verify) ?(terminator = false) ?(commutative = false)
+    ?(summary = "") name =
+  {
+    od_name = name;
+    od_verify = verify;
+    od_terminator = terminator;
+    od_commutative = commutative;
+    od_summary = summary;
+  }
+
+let registry : (string, op_def) Hashtbl.t = Hashtbl.create 64
+
+let register d = Hashtbl.replace registry d.od_name d
+let register_all ds = List.iter register ds
+let lookup name = Hashtbl.find_opt registry name
+let is_registered name = Hashtbl.mem registry name
+
+let is_terminator (op : Core.op) =
+  match lookup op.o_name with Some d -> d.od_terminator | None -> false
+
+let is_commutative (op : Core.op) =
+  match lookup op.o_name with Some d -> d.od_commutative | None -> false
+
+let registered_ops () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let dialect_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name

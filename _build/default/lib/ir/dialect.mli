@@ -1,0 +1,39 @@
+(** Dialect registry: per-operation verification and metadata.
+
+    Dialect libraries register their operation definitions here (explicitly,
+    via their [register ()] entry points). The {!Verifier} consults the
+    registry; unregistered operations only get generic structural checks. *)
+
+type op_def = {
+  od_name : string;  (** fully qualified, e.g. ["linalg.matmul"] *)
+  od_verify : Core.op -> unit;  (** raise {!Support.Diag.Error} on failure *)
+  od_terminator : bool;
+  od_commutative : bool;  (** operand order is semantically irrelevant *)
+  od_summary : string;
+}
+
+(** [no_verify] is a verifier that accepts anything. *)
+val no_verify : Core.op -> unit
+
+val def :
+  ?verify:(Core.op -> unit) ->
+  ?terminator:bool ->
+  ?commutative:bool ->
+  ?summary:string ->
+  string ->
+  op_def
+
+(** [register d] installs (or replaces) the definition. *)
+val register : op_def -> unit
+
+val register_all : op_def list -> unit
+val lookup : string -> op_def option
+val is_registered : string -> bool
+val is_terminator : Core.op -> bool
+val is_commutative : Core.op -> bool
+
+(** All registered op names, sorted — used by documentation and tests. *)
+val registered_ops : unit -> string list
+
+(** [dialect_of "affine.for"] is ["affine"]. *)
+val dialect_of : string -> string

@@ -1,0 +1,38 @@
+type t = { name : string; run : Core.op -> unit }
+
+let make ~name run = { name; run }
+
+type timing = { pass_name : string; seconds : float }
+
+type manager = {
+  mutable passes : t list;
+  mutable recorded : timing list;  (** reverse order *)
+  verify_each : bool;
+}
+
+let create_manager ?(verify_each = false) () =
+  { passes = []; recorded = []; verify_each }
+
+let add m p = m.passes <- m.passes @ [ p ]
+let add_all m ps = List.iter (add m) ps
+
+let run m root =
+  List.iter
+    (fun p ->
+      let t0 = Unix.gettimeofday () in
+      p.run root;
+      let dt = Unix.gettimeofday () -. t0 in
+      m.recorded <- { pass_name = p.name; seconds = dt } :: m.recorded;
+      if m.verify_each then
+        match Verifier.verify_result root with
+        | Ok () -> ()
+        | Error msg ->
+            Support.Diag.errorf "after pass '%s': %s" p.name msg)
+    m.passes
+
+let timings m = List.rev m.recorded
+
+let total_seconds m =
+  List.fold_left (fun acc t -> acc +. t.seconds) 0. (timings m)
+
+let clear_timings m = m.recorded <- []

@@ -1,0 +1,29 @@
+(** Passes and a timing pass manager.
+
+    The pass manager records wall-clock time per pass; the §5.2 compile-time
+    overhead experiment reads these timings to compare pipelines with and
+    without the raising passes. *)
+
+type t = { name : string; run : Core.op -> unit }
+
+val make : name:string -> (Core.op -> unit) -> t
+
+type timing = { pass_name : string; seconds : float }
+
+type manager
+
+val create_manager : ?verify_each:bool -> unit -> manager
+
+val add : manager -> t -> unit
+val add_all : manager -> t list -> unit
+
+(** [run m root] executes the pipeline in order; with [verify_each] the
+    verifier runs after every pass and failures name the culprit pass. *)
+val run : manager -> Core.op -> unit
+
+val timings : manager -> timing list
+
+(** Total seconds across all recorded pass executions. *)
+val total_seconds : manager -> float
+
+val clear_timings : manager -> unit

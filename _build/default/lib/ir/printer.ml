@@ -1,0 +1,299 @@
+module F = Format
+
+type env = {
+  names : (int, string) Hashtbl.t;  (** value id -> printed name *)
+  used : (string, unit) Hashtbl.t;
+  mutable counter : int;
+}
+
+let create_env () =
+  { names = Hashtbl.create 64; used = Hashtbl.create 64; counter = 0 }
+
+let assign_name env (v : Core.value) =
+  match Hashtbl.find_opt env.names v.v_id with
+  | Some n -> n
+  | None ->
+      let base =
+        match v.v_hint with
+        | Some h when h <> "" -> h
+        | _ ->
+            let n = string_of_int env.counter in
+            env.counter <- env.counter + 1;
+            n
+      in
+      let name =
+        if not (Hashtbl.mem env.used base) then base
+        else
+          let rec try_suffix i =
+            let cand = Printf.sprintf "%s_%d" base i in
+            if Hashtbl.mem env.used cand then try_suffix (i + 1) else cand
+          in
+          try_suffix 0
+      in
+      Hashtbl.replace env.used name ();
+      Hashtbl.replace env.names v.v_id name;
+      name
+
+let value_ref env (v : Core.value) =
+  match Hashtbl.find_opt env.names v.v_id with
+  | Some n -> "%" ^ n
+  | None -> "%" ^ assign_name env v (* use before def: still print something *)
+
+(* Print an affine map applied to operand values as inline index
+   expressions, e.g. the map (d0, d1) -> (2*d0 + 1, d1) over [%i; %j]
+   prints as "2 * %i + 1, %j". *)
+let pp_applied_expr env fmt (operands : Core.value array) e =
+  let module E = Affine_expr in
+  let prec = function
+    | E.Dim _ | E.Sym _ | E.Const _ -> 3
+    | E.Mul _ | E.Floor_div _ | E.Mod _ -> 2
+    | E.Add _ -> 1
+  in
+  let rec go req fmt e =
+    let wrap = prec e < req in
+    if wrap then F.fprintf fmt "(";
+    (match e with
+    | E.Dim i -> F.fprintf fmt "%s" (value_ref env operands.(i))
+    | E.Sym i -> F.fprintf fmt "s%d" i
+    | E.Const c -> F.fprintf fmt "%d" c
+    | E.Add (a, E.Const c) when c < 0 ->
+        F.fprintf fmt "%a - %d" (go 1) a (-c)
+    | E.Add (a, b) -> F.fprintf fmt "%a + %a" (go 1) a (go 1) b
+    | E.Mul (a, b) -> F.fprintf fmt "%a * %a" (go 2) a (go 2) b
+    | E.Floor_div (a, b) -> F.fprintf fmt "%a floordiv %a" (go 3) a (go 3) b
+    | E.Mod (a, b) -> F.fprintf fmt "%a mod %a" (go 3) a (go 3) b);
+    if wrap then F.fprintf fmt ")"
+  in
+  go 0 fmt e
+
+let pp_applied_map env fmt (map : Affine_map.t) operands =
+  List.iteri
+    (fun i e ->
+      if i > 0 then F.fprintf fmt ", ";
+      pp_applied_expr env fmt operands e)
+    map.Affine_map.exprs
+
+let pp_comma_list pp fmt xs =
+  List.iteri
+    (fun i x ->
+      if i > 0 then F.fprintf fmt ", ";
+      pp fmt x)
+    xs
+
+let pp_values env fmt vs =
+  pp_comma_list (fun fmt v -> F.pp_print_string fmt (value_ref env v)) fmt vs
+
+(* ins(%a, %b : t, t) outs(%c : t) used by the linalg forms. *)
+let pp_ins_outs env fmt ~ins ~outs =
+  let pp_group kw fmt vs =
+    if vs <> [] then (
+      F.fprintf fmt "%s(%a : %a) " kw (pp_values env) vs
+        (pp_comma_list (fun fmt (v : Core.value) -> Typ.pp fmt v.v_typ))
+        vs)
+  in
+  pp_group "ins" fmt ins;
+  pp_group "outs" fmt outs
+
+let rec pp_op_in env indent fmt (op : Core.op) =
+  let pad = String.make indent ' ' in
+  let results = Array.to_list op.o_results in
+  List.iter (fun r -> ignore (assign_name env r)) results;
+  let pp_results fmt =
+    if results <> [] then F.fprintf fmt "%a = " (pp_values env) results
+  in
+  let operands = Array.to_list op.o_operands in
+  F.fprintf fmt "%s" pad;
+  match op.o_name with
+  | "builtin.module" ->
+      F.fprintf fmt "builtin.module {\n";
+      pp_block_contents env (indent + 2) fmt (Core.single_block op 0);
+      F.fprintf fmt "%s}" pad
+  | "func.func" ->
+      let name = Core.func_name op in
+      let entry = Core.func_entry op in
+      F.fprintf fmt "func.func @%s(" name;
+      Array.iteri
+        (fun i (a : Core.value) ->
+          if i > 0 then F.fprintf fmt ", ";
+          F.fprintf fmt "%s: %a"
+            ("%" ^ assign_name env a)
+            Typ.pp a.v_typ)
+        entry.b_args;
+      F.fprintf fmt ") {\n";
+      pp_block_contents env (indent + 2) fmt entry;
+      F.fprintf fmt "%s}" pad
+  | "func.return" ->
+      F.fprintf fmt "func.return";
+      if operands <> [] then F.fprintf fmt " %a" (pp_values env) operands
+  | "affine.for" ->
+      let iv = (Core.single_block op 0).b_args.(0) in
+      let lb_map = Attr.get_map (Core.attr op "lower_bound") in
+      let ub_map = Attr.get_map (Core.attr op "upper_bound") in
+      let step = Attr.get_int (Core.attr op "step") in
+      let n_lb = Affine_map.n_results lb_map in
+      let lb_ops = Array.sub op.o_operands 0 (Array.length op.o_operands) in
+      (* Operand layout: lb map operands then ub map operands. *)
+      let lb_operands = Array.sub lb_ops 0 lb_map.Affine_map.n_dims in
+      let ub_operands =
+        Array.sub lb_ops lb_map.Affine_map.n_dims ub_map.Affine_map.n_dims
+      in
+      F.fprintf fmt "affine.for %s = " ("%" ^ assign_name env iv);
+      (if n_lb = 1 then pp_applied_map env fmt lb_map lb_operands
+       else (
+         F.fprintf fmt "max(";
+         pp_applied_map env fmt lb_map lb_operands;
+         F.fprintf fmt ")"));
+      F.fprintf fmt " to ";
+      (if Affine_map.n_results ub_map = 1 then
+         pp_applied_map env fmt ub_map ub_operands
+       else (
+         F.fprintf fmt "min(";
+         pp_applied_map env fmt ub_map ub_operands;
+         F.fprintf fmt ")"));
+      if step <> 1 then F.fprintf fmt " step %d" step;
+      F.fprintf fmt " {\n";
+      pp_block_contents env (indent + 2) fmt (Core.single_block op 0);
+      F.fprintf fmt "%s}" pad
+  | "affine.yield" ->
+      F.fprintf fmt "affine.yield";
+      if operands <> [] then F.fprintf fmt " %a" (pp_values env) operands
+  | "affine.load" ->
+      let map = Attr.get_map (Core.attr op "map") in
+      let memref = op.o_operands.(0) in
+      let idx_operands =
+        Array.sub op.o_operands 1 (Array.length op.o_operands - 1)
+      in
+      pp_results fmt;
+      F.fprintf fmt "affine.load %s[" (value_ref env memref);
+      pp_applied_map env fmt map idx_operands;
+      F.fprintf fmt "] : %a" Typ.pp memref.v_typ
+  | "affine.store" ->
+      let map = Attr.get_map (Core.attr op "map") in
+      let value = op.o_operands.(0) in
+      let memref = op.o_operands.(1) in
+      let idx_operands =
+        Array.sub op.o_operands 2 (Array.length op.o_operands - 2)
+      in
+      F.fprintf fmt "affine.store %s, %s[" (value_ref env value)
+        (value_ref env memref);
+      pp_applied_map env fmt map idx_operands;
+      F.fprintf fmt "] : %a" Typ.pp memref.v_typ
+  | "affine.apply" ->
+      let map = Attr.get_map (Core.attr op "map") in
+      pp_results fmt;
+      F.fprintf fmt "affine.apply ";
+      pp_applied_map env fmt map op.o_operands
+  | "affine.matmul" ->
+      F.fprintf fmt "affine.matmul %a : %a" (pp_values env) operands
+        (pp_comma_list (fun fmt (v : Core.value) -> Typ.pp fmt v.v_typ))
+        operands
+  | "scf.for" ->
+      let iv = (Core.single_block op 0).b_args.(0) in
+      F.fprintf fmt "scf.for %s = %s to %s step %s {\n"
+        ("%" ^ assign_name env iv)
+        (value_ref env op.o_operands.(0))
+        (value_ref env op.o_operands.(1))
+        (value_ref env op.o_operands.(2));
+      pp_block_contents env (indent + 2) fmt (Core.single_block op 0);
+      F.fprintf fmt "%s}" pad
+  | "scf.yield" ->
+      F.fprintf fmt "scf.yield";
+      if operands <> [] then F.fprintf fmt " %a" (pp_values env) operands
+  | "arith.constant" ->
+      pp_results fmt;
+      let v = op.o_results.(0) in
+      F.fprintf fmt "arith.constant ";
+      (match Core.attr op "value" with
+      | Attr.Float f -> F.fprintf fmt "%g" f
+      | Attr.Int i -> F.fprintf fmt "%d" i
+      | a -> Attr.pp fmt a);
+      F.fprintf fmt " : %a" Typ.pp v.v_typ
+  | ( "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
+    | "arith.addi" | "arith.subi" | "arith.muli" ) as name ->
+      pp_results fmt;
+      F.fprintf fmt "%s %a : %a" name (pp_values env) operands Typ.pp
+        op.o_results.(0).v_typ
+  | "memref.alloc" ->
+      pp_results fmt;
+      F.fprintf fmt "memref.alloc() : %a" Typ.pp op.o_results.(0).v_typ
+  | "memref.dealloc" ->
+      F.fprintf fmt "memref.dealloc %s : %a"
+        (value_ref env op.o_operands.(0))
+        Typ.pp op.o_operands.(0).v_typ
+  | "linalg.matmul" | "linalg.matvec" | "linalg.conv2d_nchw" ->
+      let n_in = Array.length op.o_operands - 1 in
+      let ins = Array.to_list (Array.sub op.o_operands 0 n_in) in
+      let outs = [ op.o_operands.(n_in) ] in
+      F.fprintf fmt "%s " op.o_name;
+      pp_ins_outs env fmt ~ins ~outs
+  | "linalg.transpose" ->
+      F.fprintf fmt "linalg.transpose ";
+      pp_ins_outs env fmt
+        ~ins:[ op.o_operands.(0) ]
+        ~outs:[ op.o_operands.(1) ];
+      F.fprintf fmt "permutation = %a" Attr.pp (Core.attr op "permutation")
+  | "linalg.reshape" ->
+      F.fprintf fmt "linalg.reshape ";
+      pp_ins_outs env fmt
+        ~ins:[ op.o_operands.(0) ]
+        ~outs:[ op.o_operands.(1) ];
+      F.fprintf fmt "grouping = %a" Attr.pp (Core.attr op "grouping")
+  | "linalg.fill" ->
+      F.fprintf fmt "linalg.fill value = %a " Attr.pp (Core.attr op "value");
+      pp_ins_outs env fmt ~ins:[] ~outs:[ op.o_operands.(0) ]
+  | "linalg.contract" ->
+      let n_in = Array.length op.o_operands - 1 in
+      let ins = Array.to_list (Array.sub op.o_operands 0 n_in) in
+      let outs = [ op.o_operands.(n_in) ] in
+      F.fprintf fmt "linalg.contract indexing_maps = %a " Attr.pp
+        (Core.attr op "indexing_maps");
+      pp_ins_outs env fmt ~ins ~outs
+  | "blas.sgemm" | "blas.sgemv" | "blas.stranspose" | "blas.sreshape_copy"
+  | "blas.sconv2d" ->
+      F.fprintf fmt "%s %a : %a" op.o_name (pp_values env) operands
+        (pp_comma_list (fun fmt (v : Core.value) -> Typ.pp fmt v.v_typ))
+        operands;
+      List.iter
+        (fun (k, a) -> F.fprintf fmt " %s = %a" k Attr.pp a)
+        (List.sort compare op.o_attrs)
+  | name ->
+      (* Generic form. *)
+      pp_results fmt;
+      F.fprintf fmt "\"%s\"(%a)" name (pp_values env) operands;
+      if op.o_attrs <> [] then (
+        F.fprintf fmt " {";
+        List.iteri
+          (fun i (k, a) ->
+            if i > 0 then F.fprintf fmt ", ";
+            F.fprintf fmt "%s = %a" k Attr.pp a)
+          (List.sort compare op.o_attrs);
+        F.fprintf fmt "}");
+      Array.iter
+        (fun (r : Core.region) ->
+          F.fprintf fmt " ({\n";
+          List.iter (fun b -> pp_block_contents env (indent + 2) fmt b) r.r_blocks;
+          F.fprintf fmt "%s})" pad)
+        op.o_regions;
+      F.fprintf fmt " : (%a) -> (%a)"
+        (pp_comma_list (fun fmt (v : Core.value) -> Typ.pp fmt v.v_typ))
+        operands
+        (pp_comma_list (fun fmt (v : Core.value) -> Typ.pp fmt v.v_typ))
+        results
+
+and pp_block_contents env indent fmt (b : Core.block) =
+  List.iter
+    (fun op ->
+      pp_op_in env indent fmt op;
+      F.fprintf fmt "\n")
+    b.b_ops
+
+let pp_op fmt op =
+  let env = create_env () in
+  pp_op_in env 0 fmt op
+
+let op_to_string op = F.asprintf "%a" pp_op op
+
+let debug_value v =
+  match v.Core.v_hint with
+  | Some h -> Printf.sprintf "%%%s<%d>" h v.Core.v_id
+  | None -> Printf.sprintf "%%<%d>" v.Core.v_id

@@ -1,0 +1,18 @@
+(** Textual IR output, in an MLIR-flavoured concrete syntax.
+
+    Operations with well-known names (func, affine, scf, arith, memref,
+    linalg, blas dialects) print in a pretty custom form; anything else
+    falls back to the generic
+    [%r = "name"(%operands) {attrs} : (operand types) -> (result types)]
+    form. {!Parser} accepts exactly what this module prints, giving a
+    round-trip property that the tests enforce. *)
+
+(** [pp_op fmt op] prints a whole operation tree (typically a module or a
+    function) followed by a newline for nested ops. *)
+val pp_op : Format.formatter -> Core.op -> unit
+
+val op_to_string : Core.op -> string
+
+(** [debug_value v] renders a value for diagnostics (hint + internal id);
+    names are not the printer's stable SSA names. *)
+val debug_value : Core.value -> string

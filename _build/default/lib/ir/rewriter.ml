@@ -1,0 +1,104 @@
+type ctx = { root : Core.op; builder : Builder.t }
+
+type pattern = {
+  p_name : string;
+  p_benefit : int;
+  p_apply : ctx -> Core.op -> bool;
+}
+
+let pattern ~name ?(benefit = 1) apply =
+  { p_name = name; p_benefit = benefit; p_apply = apply }
+
+let max_iterations = 10_000
+
+let apply_greedily root patterns =
+  let patterns =
+    List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
+  in
+  let applications = ref 0 in
+  let progress = ref true in
+  let iterations = ref 0 in
+  while !progress do
+    incr iterations;
+    if !iterations > max_iterations then
+      Support.Diag.errorf
+        "rewriter: no fixpoint after %d sweeps (diverging pattern set?)"
+        max_iterations;
+    progress := false;
+    (* Sweep over a snapshot; stop the sweep at the first application since
+       the matched region of IR may have been heavily restructured. *)
+    let exception Applied in
+    (try
+       Core.walk_safe root (fun op ->
+           if op != root && op.o_parent != None then
+             List.iter
+               (fun p ->
+                 if op.o_parent != None then
+                   let ctx = { root; builder = Builder.before op } in
+                   if p.p_apply ctx op then (
+                     incr applications;
+                     raise Applied))
+               patterns)
+     with Applied -> progress := true)
+  done;
+  !applications
+
+let apply_sweeps root patterns =
+  let patterns =
+    List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
+  in
+  let applications = ref 0 in
+  let progress = ref true in
+  let sweeps = ref 0 in
+  while !progress do
+    incr sweeps;
+    if !sweeps > max_iterations then
+      Support.Diag.errorf "rewriter: no fixpoint after %d sweeps"
+        max_iterations;
+    progress := false;
+    Core.walk_safe root (fun op ->
+        if op != root && op.o_parent != None then
+          List.iter
+            (fun p ->
+              if op.o_parent != None then
+                let ctx = { root; builder = Builder.before op } in
+                if p.p_apply ctx op then begin
+                  incr applications;
+                  progress := true
+                end)
+            patterns)
+  done;
+  !applications
+
+let replace_op ctx op values =
+  let results = Array.to_list op.Core.o_results in
+  (try
+     List.iter2
+       (fun (old_v : Core.value) new_v ->
+         Core.replace_uses ctx.root ~old_v ~new_v)
+       results values
+   with Invalid_argument _ ->
+     Support.Diag.errorf "replace_op: arity mismatch replacing %s"
+       op.Core.o_name);
+  Core.erase_op op
+
+let replace_op_local ctx op values =
+  (match op.Core.o_parent with
+  | None -> Support.Diag.errorf "replace_op_local: op is detached"
+  | Some block ->
+      let results = Array.to_list op.Core.o_results in
+      (try
+         List.iter2
+           (fun (old_v : Core.value) new_v ->
+             List.iter
+               (fun sibling ->
+                 Core.replace_uses sibling ~old_v ~new_v)
+               (Core.ops_of_block block))
+           results values
+       with Invalid_argument _ ->
+         Support.Diag.errorf "replace_op_local: arity mismatch replacing %s"
+           op.Core.o_name));
+  ignore ctx;
+  Core.erase_op op
+
+let erase_op = Core.erase_op

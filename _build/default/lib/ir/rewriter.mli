@@ -1,0 +1,52 @@
+(** Pattern-rewriting infrastructure: declarative rewrite patterns applied
+    greedily to a fixpoint, in the style of MLIR's pattern rewriter that
+    Multi-Level Tactics hooks its generated tactics into. *)
+
+(** Handle passed to a pattern while it rewrites; insertion happens at the
+    matched op by default. *)
+type ctx = {
+  root : Core.op;  (** the function/module the driver runs on *)
+  builder : Builder.t;  (** positioned just before the matched op *)
+}
+
+type pattern = {
+  p_name : string;
+  p_benefit : int;  (** higher applies first *)
+  p_apply : ctx -> Core.op -> bool;
+      (** Inspect [op]; if it matches, mutate the IR (insert replacement
+          ops via [ctx.builder], erase matched ops) and return [true]. *)
+}
+
+val pattern :
+  name:string -> ?benefit:int -> (ctx -> Core.op -> bool) -> pattern
+
+(** [apply_greedily root patterns] repeatedly sweeps the op tree applying
+    the highest-benefit matching pattern until a fixpoint (or a safety
+    iteration bound, at which point it raises). The walk restarts after
+    every application — use it for raising patterns whose rewrites
+    restructure large regions. Returns the number of successful pattern
+    applications. *)
+val apply_greedily : Core.op -> pattern list -> int
+
+(** [apply_sweeps root patterns] applies patterns in full sweeps without
+    restarting after each application, iterating sweeps to a fixpoint —
+    the efficient driver for exhaustive one-way conversions (dialect
+    lowerings) where each op is rewritten at most once. Returns the
+    number of applications. *)
+val apply_sweeps : Core.op -> pattern list -> int
+
+(** {2 Rewrite helpers} *)
+
+(** [replace_op ctx op values] replaces all uses of [op]'s results under
+    the driver root by [values] and erases [op]. *)
+val replace_op : ctx -> Core.op -> Core.value list -> unit
+
+(** [replace_op_local ctx op values] — like {!replace_op} but only
+    rewrites uses within [op]'s enclosing block (including nested
+    regions). Correct whenever the results cannot escape the block —
+    true for scalar SSA values in this IR's structured control flow —
+    and much cheaper on large functions. *)
+val replace_op_local : ctx -> Core.op -> Core.value list -> unit
+
+(** [erase_op op] — re-exported for symmetry. *)
+val erase_op : Core.op -> unit

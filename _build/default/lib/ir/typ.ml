@@ -1,0 +1,74 @@
+type dim = Static of int | Dynamic
+
+type t =
+  | F32
+  | F64
+  | I1
+  | I32
+  | I64
+  | Index
+  | Mem_ref of dim list * t
+  | Fun of t list * t list
+
+let is_scalar = function
+  | F32 | F64 | I1 | I32 | I64 | Index -> true
+  | Mem_ref _ | Fun _ -> false
+
+let is_float = function F32 | F64 -> true | _ -> false
+let is_int = function I1 | I32 | I64 | Index -> true | _ -> false
+
+let memref shape elem = Mem_ref (List.map (fun d -> Static d) shape, elem)
+
+let memref_rank = function
+  | Mem_ref (shape, _) -> List.length shape
+  | _ -> invalid_arg "Typ.memref_rank: not a memref"
+
+let memref_elem = function
+  | Mem_ref (_, e) -> e
+  | _ -> invalid_arg "Typ.memref_elem: not a memref"
+
+let memref_shape = function
+  | Mem_ref (shape, _) -> shape
+  | _ -> invalid_arg "Typ.memref_shape: not a memref"
+
+let static_shape = function
+  | Mem_ref (shape, _) ->
+      List.fold_right
+        (fun d acc ->
+          match (d, acc) with
+          | Static n, Some tl -> Some (n :: tl)
+          | _ -> None)
+        shape (Some [])
+  | _ -> None
+
+let num_elements t =
+  Option.map (List.fold_left ( * ) 1) (static_shape t)
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp fmt = function
+  | F32 -> Format.fprintf fmt "f32"
+  | F64 -> Format.fprintf fmt "f64"
+  | I1 -> Format.fprintf fmt "i1"
+  | I32 -> Format.fprintf fmt "i32"
+  | I64 -> Format.fprintf fmt "i64"
+  | Index -> Format.fprintf fmt "index"
+  | Mem_ref (shape, elem) ->
+      Format.fprintf fmt "memref<";
+      List.iter
+        (fun d ->
+          (match d with
+          | Static n -> Format.fprintf fmt "%d" n
+          | Dynamic -> Format.fprintf fmt "?");
+          Format.fprintf fmt "x")
+        shape;
+      Format.fprintf fmt "%a>" pp elem
+  | Fun (args, results) ->
+      let pp_list fmt ts =
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+          pp fmt ts
+      in
+      Format.fprintf fmt "(%a) -> (%a)" pp_list args pp_list results
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,39 @@
+(** IR types.
+
+    The reproduction uses buffer (memref) semantics throughout, matching the
+    2020-era Linalg-on-buffers setting the paper evaluates. *)
+
+type dim = Static of int | Dynamic
+
+type t =
+  | F32
+  | F64
+  | I1
+  | I32
+  | I64
+  | Index  (** loop induction variables and subscripts *)
+  | Mem_ref of dim list * t  (** shaped buffer of a scalar element type *)
+  | Fun of t list * t list
+
+val is_scalar : t -> bool
+val is_float : t -> bool
+val is_int : t -> bool
+
+(** [memref shape elem] with [shape] given as static extents. *)
+val memref : int list -> t -> t
+
+(** [memref_rank t] for a memref type; raises [Invalid_argument] otherwise. *)
+val memref_rank : t -> int
+
+val memref_elem : t -> t
+val memref_shape : t -> dim list
+
+(** [static_shape t] returns the extents when all dimensions are static. *)
+val static_shape : t -> int list option
+
+(** Number of elements of a fully static memref. *)
+val num_elements : t -> int option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,58 @@
+module D = Support.Diag
+
+let fail op fmt =
+  Format.kasprintf
+    (fun msg -> D.errorf "verifier: '%s' (id %d): %s" op.Core.o_name op.Core.o_id msg)
+    fmt
+
+(* Scope = set of value ids visible at the current program point. Regions
+   introduce nested scopes; block arguments enter scope at block start. *)
+let rec verify_op scope (op : Core.op) =
+  Array.iter
+    (fun (v : Core.value) ->
+      if not (Hashtbl.mem scope v.Core.v_id) then
+        fail op "operand %s used before definition or out of scope"
+          (Printer.debug_value v))
+    op.o_operands;
+  (match Dialect.lookup op.o_name with
+  | Some d -> d.od_verify op
+  | None -> ());
+  Array.iter
+    (fun (r : Core.region) ->
+      List.iter
+        (fun (b : Core.block) ->
+          let inner = Hashtbl.copy scope in
+          Array.iter
+            (fun (a : Core.value) -> Hashtbl.replace inner a.Core.v_id ())
+            b.b_args;
+          List.iter
+            (fun child ->
+              verify_op inner child;
+              Array.iter
+                (fun (res : Core.value) ->
+                  Hashtbl.replace inner res.Core.v_id ())
+                child.o_results)
+            b.b_ops;
+          (* Terminator discipline: if any op in the block is a registered
+             terminator it must be the last one. *)
+          let rec check_terms = function
+            | [] -> ()
+            | [ _last ] -> ()
+            | o :: rest ->
+                if Dialect.is_terminator o then
+                  fail op "terminator '%s' is not last in its block"
+                    o.Core.o_name
+                else check_terms rest
+          in
+          check_terms b.b_ops)
+        r.r_blocks)
+    op.o_regions
+
+let verify root =
+  let scope = Hashtbl.create 64 in
+  verify_op scope root
+
+let verify_result root =
+  match verify root with
+  | () -> Ok ()
+  | exception D.Error (loc, msg) -> Error (D.to_string loc msg)

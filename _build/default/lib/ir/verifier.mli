@@ -1,0 +1,15 @@
+(** Structural IR verification.
+
+    Checks, for an operation tree (usually a module):
+    - every operand is defined before use (lexical dominance within the
+      single-block structured-control-flow subset this IR supports);
+    - region-carrying ops end their blocks with the right terminator
+      (per the {!Dialect} registry);
+    - registered per-op verifiers pass.
+
+    Raises {!Support.Diag.Error} with a message naming the offending op. *)
+
+val verify : Core.op -> unit
+
+(** [verify_result op] is the [Result] form used by tests. *)
+val verify_result : Core.op -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/linalg/linalg_ops.ml: Affine_map Array Attr Builder Core Dialect Fun Ir List Std_dialect String Support Typ

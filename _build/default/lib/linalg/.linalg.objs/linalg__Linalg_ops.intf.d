@@ -1,0 +1,1 @@
+lib/linalg/linalg_ops.mli: Affine_map Builder Core Ir

@@ -1,0 +1,1 @@
+lib/machine/blas_model.ml: Float Machine_model

@@ -1,0 +1,1 @@
+lib/machine/blas_model.mli: Machine_model

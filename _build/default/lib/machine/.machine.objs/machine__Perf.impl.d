@@ -1,0 +1,1 @@
+lib/machine/perf.ml: Affine Attr Blas Blas_model Core Float Ir Linalg List Machine_model Support Trace Typ

@@ -1,0 +1,1 @@
+lib/machine/perf.mli: Core Ir Machine_model Trace

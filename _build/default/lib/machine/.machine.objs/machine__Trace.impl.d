@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Affine Affine_expr Affine_map Array Attr Cache Core Hashtbl Ir List Machine_model Std_dialect Support Typ

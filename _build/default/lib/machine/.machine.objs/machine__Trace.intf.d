@@ -1,0 +1,1 @@
+lib/machine/trace.mli: Cache Core Hashtbl Ir Machine_model

@@ -1,0 +1,44 @@
+open Machine_model
+
+let roofline m ~flops ~bytes ~peak_gflops =
+  let eff_peak = peak_gflops *. 1e9 *. (flops /. (flops +. m.blas_ramp_flops)) in
+  Float.max (flops /. eff_peak) (bytes /. (m.mem_bw_gbs *. 1e9))
+
+let gemm_seconds m ~m:mm ~n ~k =
+  let flops = 2. *. float_of_int mm *. float_of_int n *. float_of_int k in
+  let bytes = 4. *. float_of_int ((mm * k) + (k * n) + (2 * mm * n)) in
+  m.blas_call_overhead_s +. roofline m ~flops ~bytes ~peak_gflops:m.blas_peak_gflops
+
+let gemv_seconds m ~m:mm ~n =
+  let flops = 2. *. float_of_int mm *. float_of_int n in
+  let bytes = 4. *. float_of_int ((mm * n) + mm + mm + n) in
+  m.blas_call_overhead_s +. roofline m ~flops ~bytes ~peak_gflops:m.blas_peak_gflops
+
+let transpose_seconds m ~elems =
+  (* Read + write; transposition halves effective bandwidth. *)
+  let bytes = 2. *. 4. *. float_of_int elems in
+  m.blas_call_overhead_s +. (bytes /. (0.5 *. m.mem_bw_gbs *. 1e9))
+
+let copy_seconds m ~elems =
+  let bytes = 2. *. 4. *. float_of_int elems in
+  m.blas_call_overhead_s +. (bytes /. (m.mem_bw_gbs *. 1e9))
+
+let conv2d_seconds m ~n ~c ~f ~oh ~ow ~kh ~kw =
+  (* Implicit-GEMM formulation: M = f, N = n*oh*ow, K = c*kh*kw. *)
+  let flops =
+    2. *. float_of_int (n * f * oh * ow * c * kh * kw)
+  in
+  let bytes =
+    4.
+    *. float_of_int
+         ((n * c * (oh + kh - 1) * (ow + kw - 1))
+         + (f * c * kh * kw)
+         + (2 * n * f * oh * ow))
+  in
+  m.blas_call_overhead_s +. roofline m ~flops ~bytes ~peak_gflops:m.blas_peak_gflops
+
+let blis_codegen_gemm_seconds m ~m:mm ~n ~k =
+  let flops = 2. *. float_of_int mm *. float_of_int n *. float_of_int k in
+  let bytes = 4. *. float_of_int ((mm * k) + (k * n) + (2 * mm * n)) in
+  roofline m ~flops ~bytes
+    ~peak_gflops:(m.blis_codegen_efficiency *. m.blas_peak_gflops)

@@ -1,0 +1,30 @@
+(** Analytical model of the vendor-optimized library (the MKL-DNN /
+    OpenBLAS stand-in), in the spirit of Low et al.'s "Analytical modeling
+    is enough for high-performance BLIS" (the paper's [14]).
+
+    Each routine costs the dynamic-link call overhead the paper observes
+    (§5.2, the atax discussion) plus a roofline term:
+    [max(flops / effective_peak, bytes / bandwidth)], where the effective
+    peak ramps up with problem size ([peak * flops / (flops + ramp)]) to
+    model packing and fringe overheads on small operands. *)
+
+open Machine_model
+
+val gemm_seconds : t -> m:int -> n:int -> k:int -> float
+
+val gemv_seconds : t -> m:int -> n:int -> float
+
+val transpose_seconds : t -> elems:int -> float
+
+val copy_seconds : t -> elems:int -> float
+
+val conv2d_seconds :
+  t -> n:int -> c:int -> f:int -> oh:int -> ow:int -> kh:int -> kw:int ->
+  float
+
+(** The §5.1 path: [affine.matmul] lowered through the OpenBLAS/BLIS
+    analytical schedule by the MLIR code generator — same shape as
+    {!gemm_seconds} but at the machine's [blis_codegen_efficiency]
+    fraction of the library peak, and without the dynamic-link overhead
+    (the code is inlined, not called). *)
+val blis_codegen_gemm_seconds : t -> m:int -> n:int -> k:int -> float

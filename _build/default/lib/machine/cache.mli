@@ -1,0 +1,33 @@
+(** Set-associative LRU cache simulator (single level) and a three-level
+    hierarchy. The testbed substitute for the paper's Intel/AMD machines:
+    the trace generator drives memory accesses through a hierarchy and
+    the timing model charges miss latencies. *)
+
+type t
+
+(** [create ~size ~line ~ways] — sizes in bytes; [size] must be a
+    multiple of [line * ways]. *)
+val create : size:int -> line:int -> ways:int -> t
+
+(** [access t addr] returns [true] on hit and updates LRU state. *)
+val access : t -> int -> bool
+
+val accesses : t -> int
+val misses : t -> int
+val reset : t -> unit
+
+(** {2 Hierarchy} *)
+
+type hierarchy
+
+type level_stats = { l1_miss : int; l2_miss : int; l3_miss : int; total : int }
+
+val create_hierarchy :
+  l1:t -> l2:t -> l3:t -> hierarchy
+
+(** [access_hierarchy h addr] probes L1, then L2, then L3 on misses;
+    returns the innermost level that hit (1-4, 4 = memory). *)
+val access_hierarchy : hierarchy -> int -> int
+
+val hierarchy_stats : hierarchy -> level_stats
+val reset_hierarchy : hierarchy -> unit

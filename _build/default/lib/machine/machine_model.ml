@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  freq_ghz : float;
+  scalar_flops_per_cycle : float;
+  vector_flops_per_cycle : float;
+  l1_size : int;
+  l2_size : int;
+  l3_size : int;
+  line : int;
+  l1_ways : int;
+  l2_ways : int;
+  l3_ways : int;
+  lat_l2 : float;
+  lat_l3 : float;
+  lat_mem : float;
+  mlp : float;
+  loop_overhead_cycles : float;
+  mem_bw_gbs : float;
+  blas_peak_gflops : float;
+  blas_ramp_flops : float;
+  blas_call_overhead_s : float;
+  blis_codegen_efficiency : float;
+}
+
+let intel_i9 =
+  {
+    name = "intel-i9-9900k";
+    freq_ghz = 3.6;
+    scalar_flops_per_cycle = 1.0;
+    vector_flops_per_cycle = 8.0;
+    l1_size = 32 * 1024;
+    l2_size = 256 * 1024;
+    l3_size = 16 * 1024 * 1024;
+    line = 64;
+    l1_ways = 8;
+    l2_ways = 4;
+    l3_ways = 16;
+    lat_l2 = 12.;
+    lat_l3 = 40.;
+    lat_mem = 180.;
+    mlp = 4.;
+    loop_overhead_cycles = 1.0;
+    mem_bw_gbs = 35.;
+    blas_peak_gflops = 145.5;
+    blas_ramp_flops = 3e5;
+    blas_call_overhead_s = 1.5e-5;
+    blis_codegen_efficiency = 0.40;
+  }
+
+let amd_2920x =
+  {
+    name = "amd-2920x";
+    freq_ghz = 4.3;
+    scalar_flops_per_cycle = 1.0;
+    vector_flops_per_cycle = 4.0;
+    l1_size = 32 * 1024;
+    l2_size = 512 * 1024;
+    l3_size = 8 * 1024 * 1024;
+    line = 64;
+    l1_ways = 8;
+    l2_ways = 8;
+    l3_ways = 16;
+    lat_l2 = 14.;
+    lat_l3 = 45.;
+    lat_mem = 220.;
+    mlp = 4.;
+    loop_overhead_cycles = 1.0;
+    mem_bw_gbs = 28.;
+    blas_peak_gflops = 63.6;
+    blas_ramp_flops = 3e5;
+    blas_call_overhead_s = 2e-5;
+    blis_codegen_efficiency = 0.37;
+  }
+
+let platforms = [ intel_i9; amd_2920x ]
+
+let fresh_hierarchy m =
+  Cache.create_hierarchy
+    ~l1:(Cache.create ~size:m.l1_size ~line:m.line ~ways:m.l1_ways)
+    ~l2:(Cache.create ~size:m.l2_size ~line:m.line ~ways:m.l2_ways)
+    ~l3:(Cache.create ~size:m.l3_size ~line:m.line ~ways:m.l3_ways)
+
+let seconds_of_cycles m c = c /. (m.freq_ghz *. 1e9)
+
+let stream_miss_cycles m =
+  float_of_int m.line *. m.freq_ghz /. m.mem_bw_gbs

@@ -1,0 +1,57 @@
+(** Parametric machine models standing in for the paper's two test
+    platforms (Table I): an Intel Core i9-9900K (Coffee Lake) and an AMD
+    Threadripper 2920X. Absolute constants are calibrated only loosely —
+    the reproduction compares orderings and factors, not GFLOPS values —
+    but the structure mirrors the real machines: frequency, issue widths
+    for scalar vs. compiler-vectorized vs. hand-tuned-library code, cache
+    geometry and miss latencies, memory bandwidth, and the
+    dynamically-linked vendor-library call overhead the paper measures
+    (§5.2's atax discussion). *)
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  scalar_flops_per_cycle : float;
+      (** dependency-chained scalar loop code (Clang -O3, not vectorized) *)
+  vector_flops_per_cycle : float;
+      (** auto-vectorized loop code (no register blocking or packing) *)
+  l1_size : int;
+  l2_size : int;
+  l3_size : int;
+  line : int;
+  l1_ways : int;
+  l2_ways : int;
+  l3_ways : int;
+  lat_l2 : float;  (** cycles charged per L1 miss hitting L2 *)
+  lat_l3 : float;
+  lat_mem : float;
+  mlp : float;
+      (** memory-level parallelism: how many misses overlap on average;
+          the effective cost per miss is [lat / mlp] *)
+  loop_overhead_cycles : float;  (** per loop iteration (branch + IV) *)
+  mem_bw_gbs : float;
+  blas_peak_gflops : float;
+      (** single-core single-precision vendor-library peak (the MKL-DNN
+          reference lines of Figure 9: 145.5 and 63.6) *)
+  blas_ramp_flops : float;
+      (** flop count at which the library reaches half its peak *)
+  blas_call_overhead_s : float;
+  blis_codegen_efficiency : float;
+      (** [affine.matmul] OpenBLAS/BLIS-schedule codegen relative to the
+          vendor peak (§5.1) *)
+}
+
+val intel_i9 : t
+val amd_2920x : t
+
+(** Both platforms, in the order of Figure 9's plots. *)
+val platforms : t list
+
+val fresh_hierarchy : t -> Cache.hierarchy
+
+(** [seconds_of_cycles m c] *)
+val seconds_of_cycles : t -> float -> float
+
+(** Cycles to bring in one cache line at streaming (prefetched)
+    bandwidth — what a unit-stride miss costs instead of the latency. *)
+val stream_miss_cycles : t -> float

@@ -1,0 +1,107 @@
+open Ir
+module D = Support.Diag
+module M = Machine_model
+
+type report = {
+  seconds : float;
+  loop_seconds : float;
+  library_seconds : float;
+  stats : Trace.stats;
+}
+
+let shape2 (v : Core.value) =
+  match Typ.static_shape v.Core.v_typ with
+  | Some [ a; b ] -> (a, b)
+  | _ -> D.errorf "perf: expected a rank-2 static memref"
+
+let library_time model (op : Core.op) =
+  let operand i = Core.operand op i in
+  match op.o_name with
+  | "blas.sgemm" ->
+      let m, k = shape2 (operand 0) in
+      let _, n = shape2 (operand 1) in
+      Blas_model.gemm_seconds model ~m ~n ~k
+  | "blas.sgemv" ->
+      let m, n = shape2 (operand 0) in
+      Blas_model.gemv_seconds model ~m ~n
+  | "blas.stranspose" -> (
+      match Typ.num_elements (operand 0).Core.v_typ with
+      | Some e -> Blas_model.transpose_seconds model ~elems:e
+      | None -> D.errorf "perf: dynamic transpose")
+  | "blas.sreshape_copy" -> (
+      match Typ.num_elements (operand 0).Core.v_typ with
+      | Some e -> Blas_model.copy_seconds model ~elems:e
+      | None -> D.errorf "perf: dynamic reshape")
+  | "blas.sconv2d" -> (
+      match
+        ( Typ.static_shape (operand 0).Core.v_typ,
+          Typ.static_shape (operand 1).Core.v_typ,
+          Typ.static_shape (operand 2).Core.v_typ )
+      with
+      | Some [ n; c; _; _ ], Some [ f; _; kh; kw ], Some [ _; _; oh; ow ] ->
+          Blas_model.conv2d_seconds model ~n ~c ~f ~oh ~ow ~kh ~kw
+      | _ -> D.errorf "perf: bad conv shapes")
+  | "affine.matmul" ->
+      let m, k = shape2 (operand 0) in
+      let _, n = shape2 (operand 1) in
+      Blas_model.blis_codegen_gemm_seconds model ~m ~n ~k
+  | _ -> D.errorf "perf: '%s' is not a library call" op.o_name
+
+let is_library (op : Core.op) =
+  Blas.Blas_ops.is_blas op || Affine.Affine_ops.is_matmul op
+
+let time_func model func =
+  if not (Core.is_func func) then invalid_arg "Perf.time_func";
+  Core.walk func (fun op ->
+      if Linalg.Linalg_ops.is_linalg op then
+        D.errorf
+          "perf: found %s — lower Linalg ops to loops or convert them to \
+           library calls before timing"
+          op.Core.o_name);
+  let addrs = Trace.assign_addresses func in
+  let hier = M.fresh_hierarchy model in
+  let stats = Trace.empty_stats () in
+  let fast_math =
+    match Core.find_attr func "fast_math" with
+    | Some (Attr.Bool b) -> b
+    | _ -> false
+  in
+  let library_seconds = ref 0. in
+  (* Group maximal runs of trace-simulable ops so the cache stays warm
+     across adjacent loop nests; library calls are timed analytically. *)
+  let pending = ref [] in
+  let flush () =
+    if !pending <> [] then begin
+      Trace.simulate ~fast_math model hier addrs stats (List.rev !pending);
+      pending := []
+    end
+  in
+  List.iter
+    (fun (op : Core.op) ->
+      if is_library op then begin
+        flush ();
+        library_seconds := !library_seconds +. library_time model op
+      end
+      else
+        match op.o_name with
+        | "func.return" | "memref.alloc" | "memref.dealloc" -> ()
+        | _ -> pending := op :: !pending)
+    (Core.ops_of_block (Core.func_entry func));
+  flush ();
+  let compute_cycles =
+    (stats.Trace.flops_scalar /. model.M.scalar_flops_per_cycle)
+    +. (stats.Trace.flops_vector /. model.M.vector_flops_per_cycle)
+  in
+  let cycles =
+    Float.max compute_cycles stats.Trace.mem_cycles
+    +. (stats.Trace.iterations *. model.M.loop_overhead_cycles)
+  in
+  let loop_seconds = M.seconds_of_cycles model cycles in
+  {
+    seconds = loop_seconds +. !library_seconds;
+    loop_seconds;
+    library_seconds = !library_seconds;
+    stats;
+  }
+
+let gflops ~flops report = flops /. report.seconds /. 1e9

@@ -1,0 +1,23 @@
+(** Whole-function performance simulation: affine loop code goes through
+    the trace-driven cache simulation, vendor-library calls through the
+    analytical model, and [affine.matmul] through the BLIS-codegen model
+    (§5.1). The timing combines a compute term (scalar/vector issue), a
+    memory term (miss latencies) and per-iteration loop overhead:
+
+    [cycles = max(compute, memory) + iterations * loop_overhead]. *)
+
+open Ir
+
+type report = {
+  seconds : float;
+  loop_seconds : float;  (** trace-simulated loop time *)
+  library_seconds : float;  (** modelled library calls *)
+  stats : Trace.stats;
+}
+
+(** [time_func model func] — raises {!Support.Diag.Error} if the function
+    still contains Linalg ops (lower or convert them first). *)
+val time_func : Machine_model.t -> Core.op -> report
+
+(** [gflops ~flops report] *)
+val gflops : flops:float -> report -> float

@@ -1,0 +1,273 @@
+open Ir
+module A = Affine.Affine_ops
+module D = Support.Diag
+
+type stats = {
+  mutable flops_scalar : float;
+  mutable flops_vector : float;
+  mutable mem_cycles : float;
+  mutable iterations : float;
+  mutable accesses : float;
+}
+
+let empty_stats () =
+  {
+    flops_scalar = 0.;
+    flops_vector = 0.;
+    mem_cycles = 0.;
+    iterations = 0.;
+    accesses = 0.;
+  }
+
+type address_map = (int, int) Hashtbl.t
+
+let elem_strides typ =
+  match Typ.static_shape typ with
+  | Some shape ->
+      let n = List.length shape in
+      let arr = Array.of_list shape in
+      let strides = Array.make n 1 in
+      for i = n - 2 downto 0 do
+        strides.(i) <- strides.(i + 1) * arr.(i + 1)
+      done;
+      strides
+  | None -> D.errorf "trace: dynamic memref shapes unsupported"
+
+let assign_addresses func =
+  let addrs = Hashtbl.create 16 in
+  let next = ref 4096 in
+  let place (v : Core.value) =
+    match Typ.static_shape v.Core.v_typ with
+    | Some shape ->
+        let bytes = 4 * List.fold_left ( * ) 1 shape in
+        Hashtbl.replace addrs v.Core.v_id !next;
+        (* Line-align and pad to avoid accidental full aliasing. *)
+        next := !next + ((bytes + 127) / 128 * 128) + 128
+    | None -> ()
+  in
+  List.iter place (Core.func_args func);
+  Core.walk func (fun op ->
+      if Std_dialect.Memref_ops.is_alloc op then place (Core.result op 0));
+  addrs
+
+(* ---- vectorizability -------------------------------------------------- *)
+
+let access_stride_wrt iv op = Affine.Loops.access_stride_wrt iv op
+
+let is_vectorizable ?(fast_math = false) loop =
+  A.is_for loop
+  && (not (List.exists A.is_for (Affine.Loops.body_ops loop)))
+  &&
+  let iv = A.for_iv loop in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      if A.is_load op || A.is_store op then
+        match access_stride_wrt iv op with
+        | Some 1 -> ()
+        | Some 0 ->
+            (* A store invariant in the loop iv is a reduction; without
+               -ffast-math the compiler cannot reassociate it into SIMD
+               lanes. *)
+            if A.is_store op && not fast_math then ok := false
+        | _ -> ok := false)
+    (Affine.Loops.body_ops loop);
+  !ok
+
+(* ---- compilation ------------------------------------------------------ *)
+
+type ctx = {
+  model : Machine_model.t;
+  hier : Cache.hierarchy;
+  addrs : address_map;
+  stats : stats;
+  env : int array;
+  slots : (int, int) Hashtbl.t;
+  mutable next_slot : int;
+  fast_math : bool;
+}
+
+let slot_of ctx (v : Core.value) =
+  match Hashtbl.find_opt ctx.slots v.Core.v_id with
+  | Some s -> s
+  | None ->
+      let s = ctx.next_slot in
+      if s >= Array.length ctx.env then
+        D.errorf "trace: too many index values";
+      ctx.next_slot <- s + 1;
+      Hashtbl.replace ctx.slots v.Core.v_id s;
+      s
+
+(* Unit-stride (prefetchable) accesses pay streaming-bandwidth cost per
+   miss; non-streamed misses pay the level latency, amortized over the
+   machine's memory-level parallelism. *)
+let miss_cost ctx ~streamed level =
+  let m = ctx.model in
+  if level = 1 then 0.
+  else if streamed then Machine_model.stream_miss_cycles m
+  else
+    let raw =
+      match level with
+      | 2 -> m.Machine_model.lat_l2
+      | 3 -> m.Machine_model.lat_l3
+      | _ -> m.Machine_model.lat_mem
+    in
+    raw /. m.Machine_model.mlp
+
+let innermost_enclosing_loop (op : Core.op) =
+  let rec up o =
+    match Core.parent_op o with
+    | Some p when A.is_for p -> Some p
+    | Some p -> up p
+    | None -> None
+  in
+  up op
+
+let is_streamed (op : Core.op) =
+  match innermost_enclosing_loop op with
+  | None -> false
+  | Some loop -> (
+      match access_stride_wrt (A.for_iv loop) op with
+      | Some s -> abs s <= 2
+      | None -> false)
+
+let compile_access ctx (op : Core.op) =
+  let memref = A.access_memref op in
+  let base =
+    match Hashtbl.find_opt ctx.addrs memref.Core.v_id with
+    | Some b -> b
+    | None -> D.errorf "trace: access to a buffer with no address"
+  in
+  let strides = elem_strides memref.Core.v_typ in
+  let exprs = Array.of_list (A.access_map op).Affine_map.exprs in
+  let operand_slots =
+    Array.of_list (List.map (slot_of ctx) (A.access_indices op))
+  in
+  let dims = Array.make (Array.length operand_slots) 0 in
+  let stats = ctx.stats in
+  let streamed = is_streamed op in
+  fun () ->
+    for i = 0 to Array.length dims - 1 do
+      dims.(i) <- ctx.env.(operand_slots.(i))
+    done;
+    let off = ref 0 in
+    for r = 0 to Array.length exprs - 1 do
+      off := !off + (Affine_expr.eval ~dims ~syms:[||] exprs.(r) * strides.(r))
+    done;
+    let level = Cache.access_hierarchy ctx.hier (base + (4 * !off)) in
+    stats.accesses <- stats.accesses +. 1.;
+    stats.mem_cycles <- stats.mem_cycles +. miss_cost ctx ~streamed level
+
+let eval_bound ctx ~minimize ((map, args) : A.bound) =
+  let slots = List.map (slot_of ctx) args in
+  let dims = Array.make (List.length args) 0 in
+  let exprs = map.Affine_map.exprs in
+  fun () ->
+    List.iteri (fun i s -> dims.(i) <- ctx.env.(s)) slots;
+    match exprs with
+    | [] -> D.errorf "trace: empty bound map"
+    | e :: rest ->
+        List.fold_left
+          (fun acc e' ->
+            let v = Affine_expr.eval ~dims ~syms:[||] e' in
+            if minimize then min acc v else max acc v)
+          (Affine_expr.eval ~dims ~syms:[||] e)
+          rest
+
+let rec compile_block ctx (ops : Core.op list) =
+  (* Returns (closures, direct float-op count). *)
+  let closures = ref [] in
+  let flops = ref 0 in
+  List.iter
+    (fun (op : Core.op) ->
+      match op.o_name with
+      | "affine.yield" -> ()
+      | "affine.for" -> closures := compile_for ctx op :: !closures
+      | "affine.load" | "affine.store" ->
+          closures := compile_access ctx op :: !closures
+      | "arith.constant" -> (
+          match Core.attr op "value" with
+          | Attr.Int i ->
+              let s = slot_of ctx (Core.result op 0) in
+              closures := (fun () -> ctx.env.(s) <- i) :: !closures
+          | _ -> ())
+      | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" ->
+          incr flops
+      | "arith.addi" | "arith.subi" | "arith.muli" | "arith.floordivsi"
+      | "arith.remsi" ->
+          let f =
+            match op.o_name with
+            | "arith.addi" -> ( + )
+            | "arith.subi" -> ( - )
+            | "arith.muli" -> ( * )
+            | "arith.floordivsi" -> ( / )
+            | _ -> ( mod )
+          in
+          let a = slot_of ctx (Core.operand op 0) in
+          let b = slot_of ctx (Core.operand op 1) in
+          let r = slot_of ctx (Core.result op 0) in
+          closures :=
+            (fun () -> ctx.env.(r) <- f ctx.env.(a) ctx.env.(b)) :: !closures
+      | "affine.apply" ->
+          let map = Attr.get_map (Core.attr op "map") in
+          let slots =
+            Array.of_list
+              (List.map (slot_of ctx) (Array.to_list op.o_operands))
+          in
+          let dims = Array.make (Array.length slots) 0 in
+          let e = List.hd map.Affine_map.exprs in
+          let r = slot_of ctx (Core.result op 0) in
+          closures :=
+            (fun () ->
+              for i = 0 to Array.length slots - 1 do
+                dims.(i) <- ctx.env.(slots.(i))
+              done;
+              ctx.env.(r) <- Affine_expr.eval ~dims ~syms:[||] e)
+            :: !closures
+      | "memref.alloc" | "memref.dealloc" -> ()
+      | name -> D.errorf "trace: cannot simulate operation '%s'" name)
+    ops;
+  (Array.of_list (List.rev !closures), !flops)
+
+and compile_for ctx (op : Core.op) =
+  let iv_slot = slot_of ctx (A.for_iv op) in
+  let lb = eval_bound ctx ~minimize:false (A.for_lb op) in
+  let ub = eval_bound ctx ~minimize:true (A.for_ub op) in
+  let step = A.for_step op in
+  let vectorized = is_vectorizable ~fast_math:ctx.fast_math op in
+  let body, direct_flops = compile_block ctx (Affine.Loops.body_ops op) in
+  let fl = float_of_int direct_flops in
+  (* SIMD execution retires several logical iterations per hardware loop
+     iteration: amortize the per-iteration branch/IV overhead. *)
+  let iter_weight = if vectorized then 0.125 else 1.0 in
+  let stats = ctx.stats in
+  fun () ->
+    let lo = lb () and hi = ub () in
+    let i = ref lo in
+    while !i < hi do
+      ctx.env.(iv_slot) <- !i;
+      for c = 0 to Array.length body - 1 do
+        body.(c) ()
+      done;
+      if vectorized then stats.flops_vector <- stats.flops_vector +. fl
+      else stats.flops_scalar <- stats.flops_scalar +. fl;
+      stats.iterations <- stats.iterations +. iter_weight;
+      i := !i + step
+    done
+
+let simulate ?(fast_math = false) model hier addrs stats ops =
+  let ctx =
+    {
+      model;
+      hier;
+      addrs;
+      stats;
+      env = Array.make 4096 0;
+      slots = Hashtbl.create 64;
+      next_slot = 0;
+      fast_math;
+    }
+  in
+  let closures, top_flops = compile_block ctx ops in
+  stats.flops_scalar <- stats.flops_scalar +. float_of_int top_flops;
+  Array.iter (fun c -> c ()) closures

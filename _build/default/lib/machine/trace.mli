@@ -1,0 +1,45 @@
+(** Trace-driven simulation of affine loop nests: the nest is compiled to
+    closures once, then its full iteration space is walked; every
+    [affine.load]/[affine.store] produces a byte address that probes the
+    cache hierarchy, while arithmetic is counted statically per iteration.
+
+    Vectorizability follows the Clang-style check the paper's baselines
+    rely on: an innermost loop whose accesses all have address stride 0 or
+    one element w.r.t. its induction variable is issued at the machine's
+    vector rate, otherwise at the scalar rate. *)
+
+open Ir
+
+type stats = {
+  mutable flops_scalar : float;
+  mutable flops_vector : float;
+  mutable mem_cycles : float;
+  mutable iterations : float;
+  mutable accesses : float;
+}
+
+val empty_stats : unit -> stats
+
+(** Base byte addresses per buffer value id. *)
+type address_map = (int, int) Hashtbl.t
+
+(** [assign_addresses func] lays out arguments and allocations. *)
+val assign_addresses : Core.op -> address_map
+
+(** [simulate m hierarchy addresses stats ops] executes the given
+    top-level affine ops (loops and straight-line affine/arith code),
+    accumulating into [stats]. Raises {!Support.Diag.Error} on
+    non-affine ops. *)
+val simulate :
+  ?fast_math:bool ->
+  Machine_model.t ->
+  Cache.hierarchy ->
+  address_map ->
+  stats ->
+  Core.op list ->
+  unit
+
+(** [is_vectorizable ?fast_math loop] — exposed for tests: the
+    innermost-loop unit-stride check. Reductions (stores invariant in the
+    loop iv) only vectorize under [fast_math] (reassociation). *)
+val is_vectorizable : ?fast_math:bool -> Core.op -> bool

@@ -1,0 +1,1 @@
+lib/matchers/access.ml: Affine Affine_expr Affine_map Array Core Dialect Hashtbl Ir List Option Std_dialect String

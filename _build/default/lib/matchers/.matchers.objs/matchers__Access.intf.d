@@ -1,0 +1,1 @@
+lib/matchers/access.mli: Core Ir

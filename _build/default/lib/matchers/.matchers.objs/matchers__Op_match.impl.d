@@ -1,0 +1,1 @@
+lib/matchers/op_match.ml: Array Core Ir List String

@@ -1,0 +1,1 @@
+lib/matchers/op_match.mli: Core Ir

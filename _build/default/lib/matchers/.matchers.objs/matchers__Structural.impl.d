@@ -1,0 +1,1 @@
+lib/matchers/structural.ml: Affine Core Dialect Ir List

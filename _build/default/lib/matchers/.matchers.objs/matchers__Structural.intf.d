@@ -1,0 +1,1 @@
+lib/matchers/structural.mli: Core Ir

@@ -1,0 +1,50 @@
+open Ir
+
+type t =
+  | Any
+  | Value of Core.value
+  | Pred of (Core.value -> bool)
+  | Capture of Core.value option ref * t
+  | Op of { name : string; operands : t list; commute : bool }
+
+let op name operands = Op { name; operands; commute = false }
+let op_commutative name operands = Op { name; operands; commute = true }
+let capture cell inner = Capture (cell, inner)
+let capt cell = Capture (cell, Any)
+let any = Any
+let value v = Value v
+let pred f = Pred f
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let matches ?(def = Core.defining_op) t v =
+  let rec go t (v : Core.value) =
+    match t with
+    | Any -> true
+    | Value v' -> Core.value_equal v v'
+    | Pred f -> f v
+    | Capture (cell, inner) ->
+        if go inner v then (
+          cell := Some v;
+          true)
+        else false
+    | Op { name; operands; commute } -> (
+        match def v with
+        | Some op when String.equal op.Core.o_name name ->
+            let actual = Array.to_list op.o_operands in
+            if List.length actual <> List.length operands then false
+            else if not commute then List.for_all2 go operands actual
+            else
+              List.exists
+                (fun perm -> List.for_all2 go operands perm)
+                (permutations actual)
+        | _ -> false)
+  in
+  go t v

@@ -1,0 +1,1 @@
+lib/met/c_ast.ml: Format List String Support

@@ -1,0 +1,1 @@
+lib/met/c_ast.mli: Format Support

@@ -1,0 +1,1 @@
+lib/met/c_lexer.ml: List Printf String Support

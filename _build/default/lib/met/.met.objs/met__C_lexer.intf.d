@@ -1,0 +1,1 @@
+lib/met/c_lexer.mli: Support

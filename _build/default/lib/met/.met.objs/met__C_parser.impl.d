@@ -1,0 +1,1 @@
+lib/met/c_parser.ml: C_ast C_lexer List String Support

@@ -1,0 +1,1 @@
+lib/met/c_parser.mli: C_ast

@@ -1,0 +1,1 @@
+lib/met/distribute.ml: Array C_ast Fun Hashtbl List String

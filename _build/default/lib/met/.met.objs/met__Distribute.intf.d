@@ -1,0 +1,1 @@
+lib/met/distribute.mli: C_ast

@@ -1,0 +1,1 @@
+lib/met/emit_affine.ml: Affine Affine_expr Affine_map Builder C_ast C_parser Core Distribute Hashtbl Ir List Std_dialect Support Typ Verifier

@@ -1,0 +1,1 @@
+lib/met/emit_affine.mli: C_ast Ir

@@ -1,0 +1,37 @@
+(** Hand-written lexer for the mini-C subset. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_void
+  | Kw_float
+  | Kw_int
+  | Kw_for
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Assign  (** [=] *)
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Lt
+  | Le
+  | Plus_plus
+  | Eof
+
+type t = { tok : token; loc : Support.Loc.t }
+
+(** [tokenize ~file src] — raises {!Support.Diag.Error} on bad input. *)
+val tokenize : file:string -> string -> t list
+
+val token_to_string : token -> string

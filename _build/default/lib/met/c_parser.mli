@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Grammar (informally):
+    {v
+    program  := kernel*
+    kernel   := "void" ident "(" params ")" "{" local* stmt* "}"
+    params   := decl ("," decl)*
+    decl     := "float" ident ("[" int "]")*
+    local    := decl ";"
+    stmt     := for | assign
+    for      := "for" "(" "int" id "=" int ";" id "<" int ";" incr ")" body
+    body     := stmt | "{" stmt* "}"
+    assign   := ref ("=" | "+=" | "-=" | "*=") expr ";"
+    ref      := ident ("[" index "]")*
+    index    := affine integer expression over loop vars and literals
+    expr     := float expression over refs and literals (+ - * /)
+    v}
+
+    Compound assignments desugar: [r += e] becomes [r = r + e], etc. *)
+
+(** Parse a whole translation unit. Raises {!Support.Diag.Error}. *)
+val parse_program : ?file:string -> string -> C_ast.program
+
+(** Parse a source containing exactly one kernel. *)
+val parse_kernel : ?file:string -> string -> C_ast.kernel

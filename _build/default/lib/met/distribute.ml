@@ -1,0 +1,58 @@
+open C_ast
+
+(* All subscript lists used for array [name] anywhere in [s]. *)
+let subscripts_of name s =
+  let w, r = stmt_accesses s in
+  List.filter_map
+    (fun (rf : ref_) ->
+      if String.equal rf.array name then Some rf.subscripts else None)
+    (w @ r)
+
+let writes_of s = fst (stmt_accesses s) |> List.map (fun r -> r.array)
+let accesses_of s =
+  let w, r = stmt_accesses s in
+  List.map (fun (x : ref_) -> x.array) (w @ r)
+
+let separable a b =
+  let shared_written =
+    List.sort_uniq String.compare (writes_of a @ writes_of b)
+    |> List.filter (fun x ->
+           List.mem x (accesses_of a) && List.mem x (accesses_of b))
+  in
+  List.for_all
+    (fun x ->
+      match subscripts_of x a @ subscripts_of x b with
+      | [] -> true
+      | first :: rest -> List.for_all (fun s -> s = first) rest)
+    shared_written
+
+(* Union-find over statement indices. *)
+let group stmts =
+  let n = Array.length stmts in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j = parent.(find i) <- find j in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (separable stmts.(i) stmts.(j)) then union i j
+    done
+  done;
+  (* Components ordered by first member. *)
+  let roots = ref [] in
+  let members = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    if not (Hashtbl.mem members r) then roots := r :: !roots;
+    Hashtbl.replace members r
+      (stmts.(i) :: (try Hashtbl.find members r with Not_found -> []))
+  done;
+  List.rev_map (fun r -> List.rev (Hashtbl.find members r)) !roots
+
+let rec stmt = function
+  | S_assign _ as s -> [ s ]
+  | S_for { var; lb; ub; body } ->
+      let body = List.concat_map stmt body in
+      group (Array.of_list body)
+      |> List.map (fun g -> S_for { var; lb; ub; body = g })
+
+let kernel k = { k with k_body = List.concat_map stmt k.k_body }

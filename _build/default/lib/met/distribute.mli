@@ -1,0 +1,22 @@
+(** Loop distribution — MET's canonicalization pass (§III of the paper):
+    splitting loops so that each dependence-connected group of statements
+    gets its own nest isolates the computational idioms (e.g. a GEMM
+    accumulation from its initialization statement) and simplifies
+    pattern recognition.
+
+    Legality is decided with a conservative syntactic test: two statements
+    may be separated iff for every array one of them writes and the other
+    accesses, all subscript expressions on that array are syntactically
+    identical (so every dependence between them is intra-iteration and
+    forward, which distribution preserves). Statements that fail the test
+    stay in the same nest. *)
+
+(** Distribute every loop of a kernel body, recursively (innermost first). *)
+val kernel : C_ast.kernel -> C_ast.kernel
+
+(** Distribute a statement; a loop may fan out into several loops. *)
+val stmt : C_ast.stmt -> C_ast.stmt list
+
+(** Exposed for tests: may statements [a] and [b] (in this order) be placed
+    in separate copies of their enclosing loop? *)
+val separable : C_ast.stmt -> C_ast.stmt -> bool

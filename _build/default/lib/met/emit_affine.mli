@@ -1,0 +1,20 @@
+(** Lowering from the mini-C AST to the Affine dialect — MET's entry into
+    the multi-level IR (Figure 3, blue box, first arrow).
+
+    Parameters become memref function arguments, local declarations become
+    [memref.alloc]s, loops become [affine.for]s and every array reference
+    becomes an [affine.load]/[affine.store] whose access map covers exactly
+    the loop variables the subscripts mention (so Darknet-style linearized
+    references produce rank-1 maps like [(d0, d1) -> (64*d0 + d1)]). *)
+
+(** [kernel k] emits a [func.func]. Raises {!Support.Diag.Error} on
+    undeclared arrays, rank mismatches or non-affine subscripts. *)
+val kernel : C_ast.kernel -> Ir.Core.op
+
+(** [program ?distribute ks] emits a [builtin.module]; when [distribute] is
+    [true] (the default, matching MET) loops are distributed first. *)
+val program : ?distribute:bool -> C_ast.program -> Ir.Core.op
+
+(** [translate ?distribute ?file src]: parse + (distribute) + emit. The
+    result is verified before being returned. *)
+val translate : ?distribute:bool -> ?file:string -> string -> Ir.Core.op

@@ -1,0 +1,1 @@
+lib/mlt/matrix_chain.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/mlt/pipeline.ml: Affine Core Ir List Machine Met Raise_chain Rewriter Support Tactics Tdl To_blas Transforms Unix Verifier

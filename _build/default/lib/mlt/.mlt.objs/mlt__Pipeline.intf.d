@@ -1,0 +1,1 @@
+lib/mlt/pipeline.mli: Core Ir Machine

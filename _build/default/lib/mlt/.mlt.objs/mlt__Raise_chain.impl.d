@@ -1,0 +1,1 @@
+lib/mlt/raise_chain.ml: Affine Array Attr Builder Core Hashtbl Ir Linalg List Matrix_chain Pass Std_dialect Support Transforms Typ

@@ -1,0 +1,1 @@
+lib/mlt/raise_chain.mli: Core Ir Pass

@@ -1,0 +1,1 @@
+lib/mlt/tactics.ml: Affine Core Ir Linalg List Matchers Rewriter String Support Tdl Typ Workloads

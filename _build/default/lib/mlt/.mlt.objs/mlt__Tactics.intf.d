@@ -1,0 +1,1 @@
+lib/mlt/tactics.mli: Core Ir Rewriter Workloads

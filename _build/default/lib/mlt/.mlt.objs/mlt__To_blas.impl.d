@@ -1,0 +1,1 @@
+lib/mlt/to_blas.ml: Attr Blas Core Ir Linalg Pass Rewriter Support

@@ -1,0 +1,1 @@
+lib/mlt/to_blas.mli: Core Ir Pass Rewriter

@@ -1,0 +1,83 @@
+type tree = Leaf of int | Node of tree * tree
+
+let check dims =
+  if Array.length dims < 3 then
+    invalid_arg "Matrix_chain: need at least two matrices"
+
+let rec bounds = function
+  | Leaf i -> (i, i)
+  | Node (l, r) ->
+      let lo, _ = bounds l and _, hi = bounds r in
+      (lo, hi)
+
+let shape dims tree =
+  let lo, hi = bounds tree in
+  (dims.(lo), dims.(hi + 1))
+
+let rec cost dims = function
+  | Leaf _ -> 0.
+  | Node (l, r) ->
+      let m, k = shape dims l in
+      let _, n = shape dims r in
+      cost dims l +. cost dims r
+      +. (float_of_int m *. float_of_int k *. float_of_int n)
+
+let optimal dims =
+  check dims;
+  let n = Array.length dims - 1 in
+  let table = Array.make_matrix n n (0., Leaf 0) in
+  for i = 0 to n - 1 do
+    table.(i).(i) <- (0., Leaf i)
+  done;
+  let d = Array.map float_of_int dims in
+  for len = 2 to n do
+    for i = 0 to n - len do
+      let j = i + len - 1 in
+      let best = ref infinity and best_tree = ref (Leaf i) in
+      for k = i to j - 1 do
+        let cl, tl = table.(i).(k) and cr, tr = table.(k + 1).(j) in
+        let c = cl +. cr +. (d.(i) *. d.(k + 1) *. d.(j + 1)) in
+        if c < !best then begin
+          best := c;
+          best_tree := Node (tl, tr)
+        end
+      done;
+      table.(i).(j) <- (!best, !best_tree)
+    done
+  done;
+  let c, t = table.(0).(n - 1) in
+  (t, c)
+
+let left_assoc dims =
+  check dims;
+  let n = Array.length dims - 1 in
+  let tree = ref (Leaf 0) in
+  for i = 1 to n - 1 do
+    tree := Node (!tree, Leaf i)
+  done;
+  (!tree, cost dims !tree)
+
+let brute_force dims =
+  check dims;
+  let n = Array.length dims - 1 in
+  let rec go i j =
+    if i = j then [ Leaf i ]
+    else
+      List.concat_map
+        (fun k ->
+          List.concat_map
+            (fun l -> List.map (fun r -> Node (l, r)) (go (k + 1) j))
+            (go i k))
+        (List.init (j - i) (fun d -> i + d))
+  in
+  let trees = go 0 (n - 1) in
+  List.fold_left
+    (fun (bt, bc) t ->
+      let c = cost dims t in
+      if c < bc then (t, c) else (bt, bc))
+    (List.hd trees, cost dims (List.hd trees))
+    trees
+
+let rec to_string = function
+  | Leaf i -> Printf.sprintf "A%d" (i + 1)
+  | Node (l, r) -> Printf.sprintf "(%sx%s)" (to_string l) (to_string r)

@@ -1,0 +1,29 @@
+(** The matrix-chain ordering problem (§5.3): given matrices
+    [A1 x A2 x ... x An] with [Ai] of size [p(i-1) x p(i)], find the
+    parenthesization minimizing scalar multiplications (CLRS dynamic
+    programming, the paper's [24]). *)
+
+type tree = Leaf of int  (** 0-based matrix index *) | Node of tree * tree
+
+(** [optimal dims] for [n+1] boundary dimensions returns the optimal tree
+    and its scalar-multiplication count. Raises [Invalid_argument] when
+    fewer than two matrices are described. *)
+val optimal : int array -> tree * float
+
+(** Left-associative parenthesization [((A1 A2) A3) ...] and its cost —
+    the "initial parenthesization" (IP) of Table II. *)
+val left_assoc : int array -> tree * float
+
+(** [cost dims tree] — scalar multiplications of an arbitrary tree. *)
+val cost : int array -> tree -> float
+
+(** Exhaustive search over all parenthesizations (Catalan growth — tests
+    only). *)
+val brute_force : int array -> tree * float
+
+(** Render as the paper's Table II notation, e.g.
+    [(A1x(A2x(A3xA4)))]. *)
+val to_string : tree -> string
+
+(** [shape dims tree] — the [(rows, cols)] of the tree's product. *)
+val shape : int array -> tree -> int * int

@@ -1,0 +1,58 @@
+(** End-to-end compilation pipelines for the five Figure-9 configurations
+    plus the §5.1 affine-raising path, producing simulated performance on
+    a machine model.
+
+    Every pipeline starts from mini-C source, enters the IR through MET
+    at the Affine level (with loop distribution), and ends in IR that
+    {!Machine.Perf} can time: affine loops, library calls, or both.
+
+    - [Clang_O3]      — the loops as written (general-purpose compiler).
+    - [Pluto_default] — fusion [smartfuse] + tiling 32.
+    - [Pluto_best]    — best of the tiling/fusion sweep on the model.
+    - [Mlt_linalg]    — raise to Linalg, lower back through the default
+                        (tiling) Linalg path.
+    - [Mlt_blas]      — raise to Linalg, convert to vendor-library calls.
+    - [Mlt_affine_blis] — §5.1: raise GEMM to [affine.matmul], lower via
+                        the OpenBLAS/BLIS schedule model. *)
+
+open Ir
+
+type config =
+  | Clang_O3
+  | Pluto_default
+  | Pluto_best
+  | Mlt_linalg
+  | Mlt_blas
+  | Mlt_affine_blis
+
+val config_name : config -> string
+
+val all_figure9_configs : config list
+
+(** [prepare config src] — parse, distribute, apply the configuration's
+    transformations; returns the module (one function). The result always
+    verifies. *)
+val prepare : config -> string -> Core.op
+
+(** [time config machine src] — simulated seconds and report for the
+    single kernel in [src]. *)
+val time : config -> Machine.Machine_model.t -> string -> Machine.Perf.report
+
+(** [gflops config machine src ~flops] *)
+val gflops :
+  config -> Machine.Machine_model.t -> string -> flops:float -> float
+
+(** {2 Compile-time measurement (§5.2 overhead experiment)}
+
+    Wall-clock seconds to run the full lowering pipeline over the given
+    sources, without ([`Baseline]) and with ([`With_mlt]) the raising
+    passes; [`Match_only] runs just the tactic matching (the idiom
+    discovery the paper contrasts with IDL's constraint solving). *)
+val compile_time : [ `Baseline | `With_mlt | `Match_only ] -> string list -> float
+
+(** {2 Figure 8: callsite detection} *)
+
+(** [count_gemm_callsites ?delinearize src] — number of sites the GEMM
+    tactic raises; with [delinearize] the optimistic delinearization pass
+    (the paper's proposed fix for Darknet) runs first. *)
+val count_gemm_callsites : ?delinearize:bool -> string -> int

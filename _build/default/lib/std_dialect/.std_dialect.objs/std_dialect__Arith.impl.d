@@ -1,0 +1,1 @@
+lib/std_dialect/arith.ml: Array Attr Builder Core Dialect Ir List String Support Typ

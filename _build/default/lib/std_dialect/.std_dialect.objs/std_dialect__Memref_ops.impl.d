@@ -1,0 +1,1 @@
+lib/std_dialect/memref_ops.ml: Builder Core Dialect Ir List String Support Typ

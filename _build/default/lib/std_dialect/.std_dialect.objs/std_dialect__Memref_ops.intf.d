@@ -1,0 +1,1 @@
+lib/std_dialect/memref_ops.mli: Ir

@@ -1,0 +1,1 @@
+lib/std_dialect/scf.ml: Array Builder Core Dialect Ir List String Support Typ

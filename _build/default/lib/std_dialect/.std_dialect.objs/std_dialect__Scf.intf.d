@@ -1,0 +1,1 @@
+lib/std_dialect/scf.mli: Ir

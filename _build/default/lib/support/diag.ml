@@ -1,0 +1,14 @@
+exception Error of Loc.t * string
+
+let error ?(loc = Loc.unknown) msg = raise (Error (loc, msg))
+
+let errorf ?(loc = Loc.unknown) fmt =
+  Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let to_string loc msg =
+  if loc == Loc.unknown then msg else Loc.to_string loc ^ ": " ^ msg
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Error (loc, msg) -> Error (to_string loc msg)

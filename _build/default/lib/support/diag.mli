@@ -1,0 +1,19 @@
+(** Diagnostics: structured errors raised by frontends, verifiers and passes.
+
+    All user-facing failures in the library go through [error] (or its
+    formatted variant [errorf]) so callers can catch a single exception
+    type, and tests can assert on messages. *)
+
+exception Error of Loc.t * string
+
+(** [error ~loc msg] raises {!Error}. [loc] defaults to {!Loc.unknown}. *)
+val error : ?loc:Loc.t -> string -> 'a
+
+(** [errorf ~loc fmt ...] raises {!Error} with a formatted message. *)
+val errorf : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [wrap f] runs [f ()] and converts an {!Error} into [Result.Error msg]. *)
+val wrap : (unit -> 'a) -> ('a, string) result
+
+(** Render an {!Error} payload as ["file:line:col: msg"]. *)
+val to_string : Loc.t -> string -> string

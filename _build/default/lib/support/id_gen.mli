@@ -1,0 +1,11 @@
+(** Monotonic unique-id generation, used for SSA values, ops and blocks. *)
+
+type t
+
+val create : unit -> t
+
+(** [next t] returns a fresh id, starting at 0. *)
+val next : t -> int
+
+(** A process-wide generator for entities that only need global uniqueness. *)
+val global : t

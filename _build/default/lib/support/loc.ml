@@ -1,0 +1,11 @@
+type t = { file : string; line : int; col : int }
+
+let unknown = { file = "<unknown>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp fmt { file; line; col } =
+  if line = 0 then Format.fprintf fmt "%s" file
+  else Format.fprintf fmt "%s:%d:%d" file line col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,15 @@
+(** Source locations for the textual frontends (mini-C, TDL, IR parser). *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+val unknown : t
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/tdl/backend.ml: Affine Affine_map Array Attr Core Frontend Hashtbl Ir Linalg List Matchers Option Rewriter Std_dialect String Support Tdl_ast Tds Typ

@@ -1,0 +1,1 @@
+lib/tdl/backend.mli: Ir Tds

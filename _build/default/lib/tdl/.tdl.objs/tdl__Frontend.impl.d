@@ -1,0 +1,1 @@
+lib/tdl/frontend.ml: Array Fun Ir List Option Printf String Support Tdl_ast Tdl_parser Tds

@@ -1,0 +1,1 @@
+lib/tdl/frontend.mli: Tdl_ast Tds

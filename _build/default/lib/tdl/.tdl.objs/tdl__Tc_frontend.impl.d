@@ -1,0 +1,1 @@
+lib/tdl/tc_frontend.ml: Backend Builder Core Frontend Ir List Support Tdl_ast Tdl_parser Typ Verifier

@@ -1,0 +1,1 @@
+lib/tdl/tc_frontend.mli: Ir

@@ -1,0 +1,1 @@
+lib/tdl/tdl_ast.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/tdl/tdl_ast.mli: Format

@@ -1,0 +1,1 @@
+lib/tdl/tdl_parser.ml: List Printf String Support Tdl_ast

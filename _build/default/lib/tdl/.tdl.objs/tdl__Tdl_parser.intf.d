@@ -1,0 +1,1 @@
+lib/tdl/tdl_parser.mli: Support Tdl_ast

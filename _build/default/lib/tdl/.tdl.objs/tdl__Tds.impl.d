@@ -1,0 +1,1 @@
+lib/tdl/tds.ml: Format List String Support Tdl_ast Tdl_parser

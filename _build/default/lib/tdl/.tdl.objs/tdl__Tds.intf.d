@@ -1,0 +1,1 @@
+lib/tdl/tds.mli: Format Tdl_ast

@@ -1,0 +1,59 @@
+open Ir
+module D = Support.Diag
+
+let shape_of_ref sizes (r : Tdl_ast.ref_) =
+  List.map
+    (fun (e : Tdl_ast.iexpr) ->
+      (* The extent of a subscript: for bare indices the index extent; for
+         windows (x + r) the sum of extents minus one (valid range). *)
+      match e.ix_terms with
+      | [] -> D.errorf "TC: constant subscripts are not supported"
+      | terms ->
+          List.fold_left
+            (fun acc (v, k) ->
+              if k <= 0 then
+                D.errorf "TC: negative subscript coefficients unsupported";
+              match List.assoc_opt v sizes with
+              | Some n -> acc + (k * (n - 1))
+              | None -> D.errorf "TC: no size given for index %s" v)
+            (e.ix_const + 1) terms)
+    r.indices
+
+let func ~name ~sizes stmt_src =
+  let stmt = Tdl_parser.parse_stmt stmt_src in
+  let out, in1, in2 =
+    match (stmt.op, stmt.rhs) with
+    | Tdl_ast.Accumulate, Tdl_ast.R_mul (a, b) -> (stmt.lhs, a, b)
+    | _ -> D.errorf "TC: expected an accumulation of a product"
+  in
+  let tensors = [ in1; in2; out ] in
+  let f =
+    Core.create_func ~name
+      ~arg_types:
+        (List.map
+           (fun r -> Typ.memref (shape_of_ref sizes r) Typ.F32)
+           tensors)
+      ~arg_hints:(List.map (fun (r : Tdl_ast.ref_) -> r.tensor) tensors)
+      ()
+  in
+  let bindings =
+    List.map2
+      (fun (r : Tdl_ast.ref_) v -> (r.tensor, v))
+      tensors (Core.func_args f)
+  in
+  (* Reuse the TDL pipeline: classify the statement as a tactic pattern,
+     synthesize builders, and materialize them. *)
+  let tds =
+    Frontend.lower
+      { Tdl_ast.t_name = name; t_pattern = stmt; t_builder = [] }
+  in
+  let b = Builder.at_end (Core.func_entry f) in
+  Backend.materialize b tds bindings;
+  ignore (Builder.build b "func.return");
+  Verifier.verify f;
+  f
+
+let module_of ~name ~sizes stmt_src =
+  let m = Core.create_module () in
+  Core.append_op (Core.module_block m) (func ~name ~sizes stmt_src);
+  m

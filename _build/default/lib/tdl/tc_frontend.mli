@@ -1,0 +1,24 @@
+(** A Teckyl-style Tensor Comprehensions entry point (Figure 2's
+    high-level frontends): turn an Einstein-notation statement directly
+    into a function over Linalg operations — entering the multi-level IR
+    at the top of the mountain, where MET enters at the valley.
+
+    {v
+    let f = Tc_frontend.func ~name:"mm"
+              ~sizes:[ ("i", 64); ("j", 64); ("k", 64) ]
+              "C(i,j) += A(i,k) * B(k,j)"
+    v}
+
+    Tensor arguments appear in order of first occurrence in the statement
+    (inputs first, output last, matching Linalg convention); shapes derive
+    from the index extents. The statement is classified exactly like a
+    TDL pattern (matmul / matvec / conv2d / TTGT contraction). *)
+
+(** Raises {!Support.Diag.Error} on statements outside the contraction
+    forms or with missing index sizes. The function verifies. *)
+val func :
+  name:string -> sizes:(string * int) list -> string -> Ir.Core.op
+
+(** [module_of ~name ~sizes stmt] — the function wrapped in a module. *)
+val module_of :
+  name:string -> sizes:(string * int) list -> string -> Ir.Core.op

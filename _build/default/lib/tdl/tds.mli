@@ -1,0 +1,39 @@
+(** Tactics Description Specification (TDS, §III-B and Figure 5): the
+    TableGen-stage representation between TDL and the generated matchers
+    and builders. Each entry derives from the [Tactic] class and carries
+    the pattern (in TC syntax) plus a list of builders.
+
+    TableGen files are only containers of domain-specific information —
+    this module provides the data type, the textual rendering (Listing 4)
+    and a parser for it, so the two-step TDL → TDS → code pipeline is
+    observable and testable. *)
+
+type builder =
+  | Transpose of { input : string; output : string; perm : int list }
+  | Reshape of { input : string; output : string; grouping : int list list }
+  | Matmul of { in1 : string; in2 : string; output : string }
+  | Matvec of { in1 : string; in2 : string; output : string; transpose : bool }
+  | Conv2d of { in1 : string; in2 : string; output : string }
+  | Fill of { output : string; value : float }
+
+type tactic = {
+  name : string;
+  pattern : Tdl_ast.stmt;
+  builders : builder list;
+}
+
+(** Tensor names read by a builder step. *)
+val builder_inputs : builder -> string list
+
+(** Tensor name written by a builder step. *)
+val builder_output : builder -> string
+
+(** Render in the TableGen syntax of Listing 4. *)
+val pp : Format.formatter -> tactic -> unit
+
+val to_string : tactic -> string
+
+(** Parse the rendered syntax back ([to_string] and [parse] round-trip). *)
+val parse : ?file:string -> string -> tactic list
+
+val parse_one : ?file:string -> string -> tactic

@@ -1,0 +1,1 @@
+lib/transforms/blis_schedule.ml: Affine Affine_expr Affine_map Core Ir Pass Rewriter Std_dialect Support Typ

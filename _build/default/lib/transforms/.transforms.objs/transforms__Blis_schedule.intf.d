@@ -1,0 +1,1 @@
+lib/transforms/blis_schedule.mli: Core Ir Pass

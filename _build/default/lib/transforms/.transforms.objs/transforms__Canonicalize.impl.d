@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Core Dce Ir Pass Rewriter Std_dialect

@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.mli: Core Ir Pass Rewriter

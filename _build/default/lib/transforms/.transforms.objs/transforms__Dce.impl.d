@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Affine Array Core Ir List Pass Std_dialect

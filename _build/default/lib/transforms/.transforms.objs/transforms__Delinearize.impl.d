@@ -1,0 +1,1 @@
+lib/transforms/delinearize.ml: Affine Affine_expr Affine_map Array Attr Core Ir List Pass Std_dialect Typ

@@ -1,0 +1,1 @@
+lib/transforms/delinearize.mli: Core Ir Pass

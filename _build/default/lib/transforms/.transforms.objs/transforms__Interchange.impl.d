@@ -1,0 +1,1 @@
+lib/transforms/interchange.ml: Affine Affine_map Array Builder Core Ir List Option Pass Std_dialect String

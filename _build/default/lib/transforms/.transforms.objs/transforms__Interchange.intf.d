@@ -1,0 +1,1 @@
+lib/transforms/interchange.mli: Core Ir Pass

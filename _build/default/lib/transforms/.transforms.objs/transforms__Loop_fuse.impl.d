@@ -1,0 +1,1 @@
+lib/transforms/loop_fuse.ml: Affine Affine_map Array Core Hashtbl Ir List Pass String

@@ -1,0 +1,1 @@
+lib/transforms/loop_fuse.mli: Core Ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/loop_tile.ml: Affine Affine_expr Affine_map Array Builder Core Ir List Pass Printf Support

@@ -1,0 +1,1 @@
+lib/transforms/loop_tile.mli: Core Ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.ml: Affine Affine_expr Affine_map Builder Core Ir List Option Pass Printf

@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.mli: Core Ir Pass

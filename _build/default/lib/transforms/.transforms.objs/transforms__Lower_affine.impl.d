@@ -1,0 +1,1 @@
+lib/transforms/lower_affine.ml: Affine Affine_expr Affine_map Array Attr Builder Core Ir List Option Pass Rewriter Std_dialect String Support

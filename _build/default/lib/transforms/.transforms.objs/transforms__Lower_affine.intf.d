@@ -1,0 +1,1 @@
+lib/transforms/lower_affine.mli: Core Ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/lower_linalg.ml: Affine Affine_expr Affine_map Array Attr Core Ir Linalg List Loop_tile Pass Rewriter Std_dialect Support Typ

@@ -1,0 +1,1 @@
+lib/transforms/lower_linalg.mli: Ir

@@ -1,0 +1,1 @@
+lib/transforms/pluto.ml: Attr Core Interchange Ir List Loop_fuse Loop_tile Pass Printf

@@ -1,0 +1,1 @@
+lib/transforms/pluto.mli: Core Ir Loop_fuse Pass

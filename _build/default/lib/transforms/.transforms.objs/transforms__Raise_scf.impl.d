@@ -1,0 +1,1 @@
+lib/transforms/raise_scf.ml: Affine Affine_expr Affine_map Array Builder Core Dce Ir List Option Pass Rewriter Std_dialect String

@@ -1,0 +1,1 @@
+lib/transforms/raise_scf.mli: Core Ir Pass

@@ -1,0 +1,54 @@
+open Ir
+module Arith = Std_dialect.Arith
+
+let const_val (v : Core.value) =
+  match Core.defining_op v with
+  | Some op -> Arith.constant_float_value op
+  | None -> None
+
+let fold_identities (ctx : Rewriter.ctx) (op : Core.op) =
+  let replace_with v =
+    Rewriter.replace_op ctx op [ v ];
+    true
+  in
+  let x () = Core.operand op 0 and y () = Core.operand op 1 in
+  match op.o_name with
+  | "arith.mulf" -> (
+      match (const_val (x ()), const_val (y ())) with
+      | Some a, Some b ->
+          let c = Arith.constant_float ctx.builder (a *. b) in
+          replace_with c
+      | Some 1.0, None -> replace_with (y ())
+      | None, Some 1.0 -> replace_with (x ())
+      | Some 0.0, None | None, Some 0.0 ->
+          replace_with (Arith.constant_float ctx.builder 0.0)
+      | _ -> false)
+  | "arith.addf" -> (
+      match (const_val (x ()), const_val (y ())) with
+      | Some a, Some b ->
+          replace_with (Arith.constant_float ctx.builder (a +. b))
+      | Some 0.0, None -> replace_with (y ())
+      | None, Some 0.0 -> replace_with (x ())
+      | _ -> false)
+  | "arith.subf" -> (
+      match (const_val (x ()), const_val (y ())) with
+      | Some a, Some b ->
+          replace_with (Arith.constant_float ctx.builder (a -. b))
+      | None, Some 0.0 -> replace_with (x ())
+      | _ -> false)
+  | "arith.divf" -> (
+      match const_val (y ()) with
+      | Some 1.0 -> replace_with (x ())
+      | _ -> false)
+  | _ -> false
+
+let patterns () =
+  [ Rewriter.pattern ~name:"fold-float-identities" fold_identities ]
+
+let run root =
+  let n = Rewriter.apply_greedily root (patterns ()) in
+  (* Folding orphans constants; sweep them. *)
+  ignore (Dce.run root);
+  n
+
+let pass = Pass.make ~name:"canonicalize" (fun root -> ignore (run root))

@@ -1,0 +1,14 @@
+(** Canonicalization patterns: algebraic identities ([x*1 -> x],
+    [x+0 -> x], [x*0 -> 0]) and scalar constant folding, as MLIR's
+    canonicalizer would run between dialect conversions. Raising benefits:
+    a GEMM written with an explicit [alpha = 1.0] factor canonicalizes to
+    the bare accumulation the tactic matches. *)
+
+open Ir
+
+val patterns : unit -> Rewriter.pattern list
+
+(** Returns the number of pattern applications. *)
+val run : Core.op -> int
+
+val pass : Pass.t

@@ -1,0 +1,95 @@
+open Ir
+module A = Affine.Affine_ops
+
+(* Does [op] only write buffer [buf] (no reads, no other effects)? Such
+   writers die with the buffer. *)
+let pure_writer_of (buf : Core.value) (op : Core.op) =
+  match op.o_name with
+  | "affine.store" -> Core.value_equal (A.access_memref op) buf
+  | "linalg.fill" -> Core.value_equal (Core.operand op 0) buf
+  | "memref.dealloc" -> Core.value_equal (Core.operand op 0) buf
+  | "linalg.matmul" | "linalg.matvec" | "linalg.conv2d_nchw"
+  | "linalg.contract" | "blas.sgemm" | "blas.sgemv" ->
+      (* Output is the last operand; reads the others. *)
+      Core.value_equal (Core.operand op (Core.num_operands op - 1)) buf
+      && not
+           (List.exists (Core.value_equal buf)
+              (List.filteri
+                 (fun i _ -> i < Core.num_operands op - 1)
+                 (Array.to_list op.o_operands)))
+  | "linalg.transpose" | "linalg.reshape" | "blas.stranspose"
+  | "blas.sreshape_copy" ->
+      Core.value_equal (Core.operand op 1) buf
+      && not (Core.value_equal (Core.operand op 0) buf)
+  | _ -> false
+
+let has_side_effects (op : Core.op) =
+  match op.o_name with
+  | "arith.constant" | "affine.apply" | "affine.load" | "memref.alloc" ->
+      false
+  | name when List.mem name Std_dialect.Arith.float_binops -> false
+  | "arith.addi" | "arith.subi" | "arith.muli" -> false
+  | _ -> true
+
+let run root =
+  let erased = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Pure ops with no uses. *)
+    let to_erase = ref [] in
+    Core.walk root (fun op ->
+        if
+          op != root
+          && (not (has_side_effects op))
+          && Array.for_all
+               (fun (r : Core.value) -> Core.uses root r = [])
+               op.o_results
+          && Core.num_results op > 0
+        then to_erase := op :: !to_erase);
+    List.iter
+      (fun op ->
+        if op.Core.o_parent <> None then begin
+          Core.erase_op op;
+          incr erased;
+          progress := true
+        end)
+      !to_erase;
+    (* Loops whose bodies became empty. *)
+    let empty_loops = ref [] in
+    Core.walk root (fun op ->
+        if A.is_for op && Affine.Loops.body_ops op = [] then
+          empty_loops := op :: !empty_loops);
+    List.iter
+      (fun op ->
+        if op.Core.o_parent <> None then begin
+          Core.erase_op op;
+          incr erased;
+          progress := true
+        end)
+      !empty_loops;
+    (* Dead buffers: allocs all of whose users are pure writers. *)
+    let allocs = ref [] in
+    Core.walk root (fun op ->
+        if Std_dialect.Memref_ops.is_alloc op then allocs := op :: !allocs);
+    List.iter
+      (fun alloc ->
+        let buf = Core.result alloc 0 in
+        let users = List.map fst (Core.uses root buf) in
+        if users <> [] && List.for_all (pure_writer_of buf) users then begin
+          List.iter
+            (fun u ->
+              if u.Core.o_parent <> None then begin
+                Core.erase_op u;
+                incr erased
+              end)
+            users;
+          Core.erase_op alloc;
+          incr erased;
+          progress := true
+        end)
+      !allocs
+  done;
+  !erased
+
+let pass = Pass.make ~name:"dce" (fun root -> ignore (run root))

@@ -1,0 +1,11 @@
+(** Dead-code elimination, including dead-buffer elimination: a locally
+    allocated buffer whose value is never read can be removed along with
+    the operations that only write it (matrix-chain reordering leaves such
+    buffers behind). Conservative: function arguments are always live. *)
+
+open Ir
+
+(** Returns the number of erased operations. *)
+val run : Core.op -> int
+
+val pass : Pass.t

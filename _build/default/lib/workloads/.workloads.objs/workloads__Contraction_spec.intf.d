@@ -1,0 +1,1 @@
+lib/workloads/contraction_spec.mli:

@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Array Buffer Contraction_spec List Printf String

@@ -1,0 +1,136 @@
+module D = Support.Diag
+
+type t = { out : char list; in1 : char list; in2 : char list }
+
+let chars s = List.init (String.length s) (String.get s)
+
+let check_distinct group cs =
+  let sorted = List.sort compare cs in
+  let rec dup = function
+    | a :: b :: _ when a = b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some c -> D.errorf "contraction spec: index %C repeated in %s" c group
+  | None -> ()
+
+let parse s =
+  match String.split_on_char '-' s with
+  | [ o; a; b ] ->
+      let out = chars o and in1 = chars a and in2 = chars b in
+      if out = [] || in1 = [] || in2 = [] then
+        D.errorf "contraction spec %S: empty index group" s;
+      check_distinct "output" out;
+      check_distinct "first input" in1;
+      check_distinct "second input" in2;
+      List.iter
+        (fun c ->
+          if not (List.mem c in1 || List.mem c in2) then
+            D.errorf
+              "contraction spec %S: output index %C missing from inputs" s c)
+        out;
+      List.iter
+        (fun c ->
+          if
+            not
+              (List.mem c out
+              || (List.mem c in1 && List.mem c in2))
+          then
+            D.errorf
+              "contraction spec %S: index %C is neither free nor contracted"
+              s c)
+        (in1 @ in2);
+      { out; in1; in2 }
+  | _ -> D.errorf "contraction spec %S: expected three dash-separated groups" s
+
+let string_of_chars cs = String.init (List.length cs) (List.nth cs)
+
+let to_string t =
+  Printf.sprintf "%s-%s-%s" (string_of_chars t.out) (string_of_chars t.in1)
+    (string_of_chars t.in2)
+
+let contracted t =
+  List.filter (fun c -> not (List.mem c t.out)) (t.in1 @ t.in2)
+  |> List.sort_uniq compare
+
+let all_indices t =
+  List.fold_left
+    (fun acc c -> if List.mem c acc then acc else acc @ [ c ])
+    [] (t.out @ t.in1 @ t.in2)
+
+let free1 t = List.filter (fun c -> List.mem c t.in1) t.out
+let free2 t = List.filter (fun c -> List.mem c t.in2) t.out
+
+let size_of sizes c =
+  match List.assoc_opt c sizes with
+  | Some n -> n
+  | None -> D.errorf "contraction sizes: no extent for index %C" c
+
+let subscripts cs =
+  String.concat "" (List.map (fun c -> Printf.sprintf "[%c]" c) cs)
+
+let decl name cs sizes =
+  Printf.sprintf "float %s%s" name
+    (String.concat ""
+       (List.map (fun c -> Printf.sprintf "[%d]" (size_of sizes c)) cs))
+
+let loops_over cs sizes body =
+  let rec go = function
+    | [] -> body
+    | c :: rest ->
+        Printf.sprintf "for (int %c = 0; %c < %d; ++%c) { %s }" c c
+          (size_of sizes c) c (go rest)
+  in
+  go cs
+
+let c_source t ~sizes ?(init = true) ~name () =
+  let stmt =
+    Printf.sprintf "C%s += A%s * B%s;" (subscripts t.out) (subscripts t.in1)
+      (subscripts t.in2)
+  in
+  let init_nest =
+    if init then
+      loops_over t.out sizes (Printf.sprintf "C%s = 0.0;" (subscripts t.out))
+    else ""
+  in
+  let main_nest = loops_over (all_indices t) sizes stmt in
+  Printf.sprintf "void %s(%s, %s, %s) {\n  %s\n  %s\n}\n" name
+    (decl "A" t.in1 sizes) (decl "B" t.in2 sizes) (decl "C" t.out sizes)
+    init_nest main_nest
+
+let flops t ~sizes =
+  List.fold_left
+    (fun acc c -> acc *. float_of_int (size_of sizes c))
+    2. (all_indices t)
+
+(* Scaled-down extents. The paper draws these kernels from coupled-cluster
+   and quantum-chemistry studies (Springer & Bientinesi); absolute sizes
+   are irrelevant to the shape of the comparison, only the level-3 nature
+   of the computation is. *)
+let paper_benchmarks () =
+  let specs =
+    [
+      ("ab-acd-dbc", "ab-acd-dbc");
+      ("abc-acd-db", "abc-acd-db");
+      ("abc-ad-bdc", "abc-ad-bdc");
+      ("ab-cad-dcb", "ab-cad-dcb");
+      ("abc-bda-dc", "abc-bda-dc");
+      ("abcd-aebf-dfce", "abcd-aebf-dfce");
+      ("abcd-aebf-fdec", "abcd-aebf-fdec");
+    ]
+  in
+  List.map
+    (fun (name, s) ->
+      let t = parse s in
+      (* Keep the iteration space around 1-3M points so the trace-driven
+         cache simulation stays fast; extents shrink with index count. *)
+      let base =
+        match List.length (all_indices t) with
+        | n when n <= 4 -> 32
+        | 5 -> 18
+        | _ -> 12
+      in
+      let sizes = List.map (fun c -> (c, base)) (all_indices t) in
+      (name, t, sizes))
+    specs

@@ -1,0 +1,1 @@
+test/test_affine_expr.ml: Alcotest Array Gen Ir QCheck QCheck_alcotest

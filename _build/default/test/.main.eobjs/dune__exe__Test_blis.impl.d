@@ -1,0 +1,1 @@
+test/test_blis.ml: Alcotest Core Interp Ir Machine Met Mlt Option Printf String Transforms Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_delinearize.ml: Alcotest Core Interp Ir List Met Mlt Option Rewriter String Tdl Transforms Typ Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_interchange.ml: Affine Alcotest Core Interp Ir List Machine Met Option Transforms Verifier Workloads

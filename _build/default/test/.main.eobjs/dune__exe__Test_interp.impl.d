@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Interp Ir List Met QCheck QCheck_alcotest Workloads

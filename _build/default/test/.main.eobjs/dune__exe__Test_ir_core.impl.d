@@ -1,0 +1,1 @@
+test/test_ir_core.ml: Affine Affine_map Alcotest Array Astring_contains Builder Core Hashtbl Ir List Printer Std_dialect Typ Verifier

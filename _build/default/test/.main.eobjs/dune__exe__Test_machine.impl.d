@@ -1,0 +1,1 @@
+test/test_machine.ml: Affine Alcotest Core Ir List Machine Met Mlt Option Printf Transforms Workloads

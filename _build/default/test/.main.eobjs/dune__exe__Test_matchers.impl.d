@@ -1,0 +1,1 @@
+test/test_matchers.ml: Affine Alcotest Builder Core Ir List Matchers Met Option Std_dialect Workloads

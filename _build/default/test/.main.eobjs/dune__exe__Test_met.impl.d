@@ -1,0 +1,1 @@
+test/test_met.ml: Affine Alcotest C_ast C_parser Distribute Emit_affine Format Ir List Met Option Std_dialect Support Workloads

@@ -1,0 +1,1 @@
+test/test_misc.ml: Affine Alcotest Astring_contains Core Interp Ir List Machine Met Mlt Option Parser Printer Rewriter String Support Transforms Verifier Workloads

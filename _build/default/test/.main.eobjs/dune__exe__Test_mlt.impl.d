@@ -1,0 +1,1 @@
+test/test_mlt.ml: Alcotest Array Core Fun Gen Interp Ir Linalg List Matchers Met Mlt Option QCheck QCheck_alcotest Rewriter String Transforms Verifier Workloads

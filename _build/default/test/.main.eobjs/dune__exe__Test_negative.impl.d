@@ -1,0 +1,1 @@
+test/test_negative.ml: Alcotest Core Interp Ir List Met Mlt String Verifier Workloads

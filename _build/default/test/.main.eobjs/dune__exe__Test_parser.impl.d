@@ -1,0 +1,1 @@
+test/test_parser.ml: Affine_map Alcotest Array Builder Core Interp Ir Linalg List Met Mlt Option Parser Printer Support Transforms Typ Workloads

@@ -1,0 +1,1 @@
+test/test_pass.ml: Affine Affine_map Alcotest Astring_contains Blas Builder Core Dialect Interp Ir Linalg List Met Mlt Option Pass Std_dialect Support Transforms Workloads

@@ -1,0 +1,1 @@
+test/test_raise_scf.ml: Affine Affine_map Alcotest Builder Core Interp Ir List Met Mlt Rewriter Std_dialect String Tdl Transforms Typ Verifier Workloads

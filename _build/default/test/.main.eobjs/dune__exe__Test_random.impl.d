@@ -1,0 +1,1 @@
+test/test_random.ml: Affine_expr Affine_map Array Core Fun Gen Interp Ir List Met Mlt Option Parser Printer Printf QCheck QCheck_alcotest Rewriter String Transforms Verifier Workloads

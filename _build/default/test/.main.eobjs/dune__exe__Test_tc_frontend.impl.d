@@ -1,0 +1,1 @@
+test/test_tc_frontend.ml: Alcotest Core Interp Ir List Met Mlt Option String Support Tdl Typ Workloads

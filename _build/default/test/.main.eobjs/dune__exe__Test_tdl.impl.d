@@ -1,0 +1,1 @@
+test/test_tdl.ml: Alcotest Backend Frontend Interp Ir List Met String Support Tdl Tdl_ast Tdl_parser Tds Workloads

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Affine Alcotest Builder Core Interp Ir List Met Rewriter Std_dialect String Tdl Transforms Typ Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Core Interp Ir Met Mlt QCheck QCheck_alcotest String Transforms Verifier Workloads

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "mlt"
+    [
+      ("support", Test_support.suite);
+      ("affine-expr", Test_affine_expr.suite);
+      ("ir-core", Test_ir_core.suite);
+      ("ir-parser", Test_parser.suite);
+      ("met", Test_met.suite);
+      ("interp", Test_interp.suite);
+      ("matchers", Test_matchers.suite);
+      ("tdl", Test_tdl.suite);
+      ("tc-frontend", Test_tc_frontend.suite);
+      ("transforms", Test_transforms.suite);
+      ("interchange", Test_interchange.suite);
+      ("machine", Test_machine.suite);
+      ("raise-scf", Test_raise_scf.suite);
+      ("delinearize", Test_delinearize.suite);
+      ("random", Test_random.suite);
+      ("pass-manager", Test_pass.suite);
+      ("blis-schedule", Test_blis.suite);
+      ("unroll", Test_unroll.suite);
+      ("misc", Test_misc.suite);
+      ("negative-controls", Test_negative.suite);
+      ("mlt", Test_mlt.suite);
+    ]

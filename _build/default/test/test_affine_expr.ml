@@ -1,0 +1,138 @@
+(* Unit and property tests for affine expressions and maps. *)
+
+module E = Ir.Affine_expr
+module M = Ir.Affine_map
+
+let check_expr msg expected actual =
+  Alcotest.(check string) msg expected (E.to_string (E.simplify actual))
+
+let test_simplify_constants () =
+  check_expr "1+2" "3" E.(add (const 1) (const 2));
+  check_expr "2*3" "6" E.(mul (const 2) (const 3));
+  check_expr "7 fdiv 2" "3" E.(floor_div (const 7) (const 2));
+  check_expr "-7 fdiv 2" "-4" E.(floor_div (const (-7)) (const 2));
+  check_expr "-7 mod 2" "1" E.(mod_ (const (-7)) (const 2));
+  check_expr "0*d0" "0" E.(mul (const 0) (dim 0));
+  check_expr "d0*1" "d0" E.(mul (dim 0) (const 1))
+
+let test_simplify_linear () =
+  check_expr "d0+d0" "2 * d0" E.(add (dim 0) (dim 0));
+  check_expr "d0-d0" "0" E.(sub (dim 0) (dim 0));
+  check_expr "2*(d0+d1)" "2 * d0 + 2 * d1" E.(mul (const 2) (add (dim 0) (dim 1)));
+  check_expr "(d0+1)+(d0+2)" "2 * d0 + 3"
+    E.(add (add (dim 0) (const 1)) (add (dim 0) (const 2)))
+
+let test_eval () =
+  let e = E.(add (mul (const 2) (dim 0)) (add (dim 1) (const 5))) in
+  Alcotest.(check int) "2*3+4+5" 15 (E.eval ~dims:[| 3; 4 |] ~syms:[||] e);
+  let fd = E.(floor_div (dim 0) (const 4)) in
+  Alcotest.(check int) "floor(-5/4)" (-2) (E.eval ~dims:[| -5 |] ~syms:[||] fd);
+  let md = E.(mod_ (dim 0) (const 4)) in
+  Alcotest.(check int) "(-5) mod 4" 3 (E.eval ~dims:[| -5 |] ~syms:[||] md)
+
+let test_single_dim () =
+  let check msg e expected =
+    Alcotest.(check (option (triple int int int))) msg expected (E.is_single_dim e)
+  in
+  check "d0" (E.dim 0) (Some (1, 0, 0));
+  check "2*d1+1" E.(add (mul (const 2) (dim 1)) (const 1)) (Some (2, 1, 1));
+  check "d0+d1" E.(add (dim 0) (dim 1)) None;
+  check "const" (E.const 3) None;
+  check "d0 mod 2" E.(Mod (dim 0, const 2)) None
+
+let test_used_dims () =
+  let e = E.(add (mul (const 2) (dim 3)) (dim 1)) in
+  Alcotest.(check (list int)) "dims" [ 1; 3 ] (E.used_dims e);
+  Alcotest.(check int) "max_dim" 4 (E.max_dim e)
+
+let test_map_identity_compose () =
+  let id3 = M.identity 3 in
+  Alcotest.(check bool) "identity" true (M.is_identity id3);
+  let perm = M.permutation [| 0; 2; 1 |] in
+  Alcotest.(check bool) "perm not id" false (M.is_identity perm);
+  let back = M.compose perm perm in
+  Alcotest.(check bool) "perm o perm = id" true (M.is_identity back)
+
+let test_map_eval_permutation () =
+  let perm = M.permutation [| 2; 0; 1 |] in
+  let r = M.eval perm ~dims:[| 10; 20; 30 |] () in
+  Alcotest.(check (array int)) "apply" [| 30; 10; 20 |] r;
+  match M.is_permutation perm with
+  | Some p ->
+      Alcotest.(check (array int)) "roundtrip" [| 2; 0; 1 |] p;
+      let q = M.inverse_permutation p in
+      Array.iteri
+        (fun i pi -> Alcotest.(check int) "inverse" i q.(pi))
+        p
+  | None -> Alcotest.fail "expected permutation"
+
+let test_map_ranges () =
+  Alcotest.check_raises "out of range dim"
+    (Invalid_argument "Affine_map: dim d2 out of range (n_dims=2)")
+    (fun () -> ignore (M.make ~n_dims:2 [ E.dim 2 ]))
+
+(* Property: simplify is idempotent and preserves evaluation. *)
+let arb_expr =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.map E.dim (Gen.int_bound 2);
+        Gen.map E.const (Gen.int_range (-10) 10);
+      ]
+  in
+  let gen =
+    Gen.sized (fun n ->
+        Gen.fix
+          (fun self n ->
+            if n <= 1 then leaf
+            else
+              Gen.oneof
+                [
+                  leaf;
+                  Gen.map2 (fun a b -> E.Add (a, b)) (self (n / 2)) (self (n / 2));
+                  Gen.map2 (fun a b -> E.Mul (a, b)) (self (n / 2)) (self (n / 2));
+                  Gen.map
+                    (fun a -> E.Floor_div (a, E.Const 3))
+                    (self (n - 1));
+                  Gen.map (fun a -> E.Mod (a, E.Const 5)) (self (n - 1));
+                ])
+          (min n 12))
+  in
+  QCheck.make ~print:E.to_string gen
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:500 arb_expr (fun e ->
+      E.equal (E.simplify e) (E.simplify (E.simplify e)))
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:500
+    (QCheck.pair arb_expr (QCheck.triple QCheck.small_nat QCheck.small_nat QCheck.small_nat))
+    (fun (e, (a, b, c)) ->
+      let dims = [| a; b; c |] in
+      E.eval ~dims ~syms:[||] e = E.eval ~dims ~syms:[||] (E.simplify e))
+
+let prop_linearize_agrees =
+  QCheck.Test.make ~name:"linear form preserves evaluation" ~count:500
+    (QCheck.pair arb_expr (QCheck.triple QCheck.small_nat QCheck.small_nat QCheck.small_nat))
+    (fun (e, (a, b, c)) ->
+      match E.linearize e with
+      | None -> QCheck.assume_fail ()
+      | Some l ->
+          let dims = [| a; b; c |] in
+          E.eval ~dims ~syms:[||] (E.of_linear l) = E.eval ~dims ~syms:[||] e)
+
+let suite =
+  [
+    Alcotest.test_case "simplify constants" `Quick test_simplify_constants;
+    Alcotest.test_case "simplify linear" `Quick test_simplify_linear;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "is_single_dim" `Quick test_single_dim;
+    Alcotest.test_case "used dims" `Quick test_used_dims;
+    Alcotest.test_case "map identity/compose" `Quick test_map_identity_compose;
+    Alcotest.test_case "map eval permutation" `Quick test_map_eval_permutation;
+    Alcotest.test_case "map range checks" `Quick test_map_ranges;
+    QCheck_alcotest.to_alcotest prop_simplify_idempotent;
+    QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
+    QCheck_alcotest.to_alcotest prop_linearize_agrees;
+  ]

@@ -1,0 +1,187 @@
+(* Tests for the buffer substrate, reference kernels, and IR interpreter. *)
+
+module B = Interp.Buffer
+module K = Interp.Kernels
+module W = Workloads.Polybench
+
+let test_buffer_indexing () =
+  let b = B.create [ 2; 3; 4 ] in
+  Alcotest.(check int) "elements" 24 (B.num_elements b);
+  Alcotest.(check int) "strides" 12 b.B.strides.(0);
+  B.set b [| 1; 2; 3 |] 42.;
+  Alcotest.(check (float 0.)) "get back" 42. (B.get b [| 1; 2; 3 |]);
+  Alcotest.(check int) "linear" 23 (B.linear_index b [| 1; 2; 3 |]);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Buffer: index 4 out of bounds [0, 4) at dim 2")
+    (fun () -> ignore (B.get b [| 0; 0; 4 |]))
+
+let test_buffer_init_iter () =
+  let b = B.init [ 3; 3 ] (fun idx -> float_of_int ((idx.(0) * 3) + idx.(1))) in
+  Alcotest.(check (float 0.)) "row major" 5. b.B.data.(5)
+
+let test_matmul_kernel () =
+  let a = B.init [ 2; 3 ] (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+  let b = B.init [ 3; 2 ] (fun i -> float_of_int ((i.(0) * 2) + i.(1))) in
+  let c = B.create [ 2; 2 ] in
+  K.matmul a b c;
+  (* [[0 1 2][3 4 5]] x [[0 1][2 3][4 5]] = [[10 13][28 40]] *)
+  Alcotest.(check (float 0.)) "c00" 10. (B.get c [| 0; 0 |]);
+  Alcotest.(check (float 0.)) "c01" 13. (B.get c [| 0; 1 |]);
+  Alcotest.(check (float 0.)) "c10" 28. (B.get c [| 1; 0 |]);
+  Alcotest.(check (float 0.)) "c11" 40. (B.get c [| 1; 1 |]);
+  (* Accumulating semantics: running again doubles. *)
+  K.matmul a b c;
+  Alcotest.(check (float 0.)) "accumulates" 20. (B.get c [| 0; 0 |])
+
+let test_matvec_kernel () =
+  let a = B.init [ 2; 3 ] (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+  let x = B.init [ 3 ] (fun i -> float_of_int (i.(0) + 1)) in
+  let y = B.create [ 2 ] in
+  K.matvec a x y;
+  Alcotest.(check (float 0.)) "y0" 8. (B.get y [| 0 |]);
+  Alcotest.(check (float 0.)) "y1" 26. (B.get y [| 1 |]);
+  let xt = B.init [ 2 ] (fun i -> float_of_int (i.(0) + 1)) in
+  let yt = B.create [ 3 ] in
+  K.matvec ~transpose:true a xt yt;
+  (* y = A^T [1;2]: columns dot [1;2] = [6; 9; 12] *)
+  Alcotest.(check (float 0.)) "yt0" 6. (B.get yt [| 0 |]);
+  Alcotest.(check (float 0.)) "yt2" 12. (B.get yt [| 2 |])
+
+let test_transpose_kernel () =
+  let src = B.init [ 2; 3; 4 ] (fun i -> float_of_int ((100 * i.(0)) + (10 * i.(1)) + i.(2))) in
+  let dst = B.create [ 2; 4; 3 ] in
+  K.transpose ~perm:[| 0; 2; 1 |] src dst;
+  Alcotest.(check (float 0.)) "dst[1,3,2] = src[1,2,3]" 123.
+    (B.get dst [| 1; 3; 2 |])
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose twice is identity" ~count:50
+    (QCheck.triple (QCheck.int_range 1 5) (QCheck.int_range 1 5)
+       (QCheck.int_range 1 5))
+    (fun (x, y, z) ->
+      let src = B.create [ x; y; z ] in
+      B.randomize ~seed:7 src;
+      let mid = B.create [ y; z; x ] in
+      (* perm [1;2;0]: out dim d = src dim perm(d). *)
+      K.transpose ~perm:[| 1; 2; 0 |] src mid;
+      let back = B.create [ x; y; z ] in
+      K.transpose ~perm:[| 2; 0; 1 |] mid back;
+      B.approx_equal ~eps:0. src back)
+
+let test_reshape_kernel () =
+  let src = B.init [ 2; 6 ] (fun i -> float_of_int ((i.(0) * 6) + i.(1))) in
+  let dst = B.create [ 2; 2; 3 ] in
+  K.reshape_copy src dst;
+  Alcotest.(check (float 0.)) "relayout" 9. (B.get dst [| 1; 1; 0 |])
+
+let test_contract_kernel_is_matmul () =
+  (* C(i,j) += A(i,k) * B(k,j) expressed as a generic contraction. *)
+  let module M = Ir.Affine_map in
+  let maps =
+    [
+      M.minor_identity ~n_dims:3 ~results:[ 0; 2 ];
+      M.minor_identity ~n_dims:3 ~results:[ 2; 1 ];
+      M.minor_identity ~n_dims:3 ~results:[ 0; 1 ];
+    ]
+  in
+  let a = B.create [ 4; 5 ] and b = B.create [ 5; 3 ] in
+  B.randomize ~seed:1 a;
+  B.randomize ~seed:2 b;
+  let c1 = B.create [ 4; 3 ] and c2 = B.create [ 4; 3 ] in
+  let dims =
+    K.infer_contract_dims ~maps
+      ~shapes:[ a.B.shape; b.B.shape; c1.B.shape ]
+  in
+  Alcotest.(check (array int)) "inferred space" [| 4; 3; 5 |] dims;
+  K.contract ~maps ~dims a b c1;
+  K.matmul a b c2;
+  Alcotest.(check bool) "same result" true (B.approx_equal c1 c2)
+
+let test_interp_gemm_matches_reference () =
+  let n = 6 in
+  let m = Met.Emit_affine.translate (W.gemm ~ni:n ~nj:n ~nk:n ()) in
+  let a = B.create [ n; n ] and b = B.create [ n; n ] and c = B.create [ n; n ] in
+  B.randomize ~seed:3 a;
+  B.randomize ~seed:4 b;
+  B.randomize ~seed:5 c;
+  (* gemm source zero-initializes C, so reference is plain matmul. *)
+  let c_ref = B.create [ n; n ] in
+  K.matmul a b c_ref;
+  Interp.Eval.run m "gemm" [ a; b; c ];
+  Alcotest.(check bool) "interpreted = reference" true
+    (B.approx_equal c c_ref)
+
+let test_interp_conv_matches_reference () =
+  let m = Met.Emit_affine.translate (W.conv2d_nchw ~n:1 ~c:2 ~h:8 ~w:8 ~f:2 ~kh:3 ~kw:3 ()) in
+  let i = B.create [ 1; 2; 8; 8 ] and w = B.create [ 2; 2; 3; 3 ] in
+  let o = B.create [ 1; 2; 6; 6 ] and o_ref = B.create [ 1; 2; 6; 6 ] in
+  B.randomize ~seed:6 i;
+  B.randomize ~seed:7 w;
+  K.conv2d_nchw i w o_ref;
+  Interp.Eval.run m "conv2d_nchw" [ i; w; o ];
+  Alcotest.(check bool) "interpreted conv = kernel" true
+    (B.approx_equal o o_ref)
+
+let test_interp_darknet_equals_2d_gemm () =
+  (* The linearized Darknet kernel computes the same function as mm. *)
+  let n = 5 in
+  let lin = Met.Emit_affine.translate (W.darknet_gemm ~m:n ~n ~k:n ()) in
+  let td = Met.Emit_affine.translate (W.mm ~ni:n ~nj:n ~nk:n ()) in
+  let mk2 seed = let b = B.create [ n; n ] in B.randomize ~seed b; b in
+  let mk1 seed = let b = B.create [ n * n ] in B.randomize ~seed b; b in
+  let a2 = mk2 1 and b2 = mk2 2 and c2 = B.create [ n; n ] in
+  let a1 = mk1 1 and b1 = mk1 2 and c1 = B.create [ n * n ] in
+  Interp.Eval.run td "mm" [ a2; b2; c2 ];
+  Interp.Eval.run lin "darknet_gemm" [ a1; b1; c1 ];
+  Alcotest.(check (float 1e-5)) "same data" 0.
+    (B.max_abs_diff c1 { c1 with B.data = c2.B.data })
+
+let test_interp_distribution_preserves_semantics () =
+  (* For every figure-9 workload: emission with and without loop
+     distribution computes the same buffers. *)
+  List.iter
+    (fun (name, src) ->
+      let ks = Met.C_parser.parse_program src in
+      let m1 = Met.Emit_affine.program ~distribute:false ks in
+      let m2 = Met.Emit_affine.program ~distribute:true ks in
+      let fname = (List.hd ks).Met.C_ast.k_name in
+      if not (Interp.Eval.equivalent m1 m2 fname ~seed:11) then
+        Alcotest.failf "%s: distribution changed semantics" name)
+    (W.tiny_suite ())
+
+let test_interp_errors () =
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  (* Wrong arity *)
+  (try
+     Interp.Eval.run m "mm" [];
+     Alcotest.fail "expected arity error"
+   with Interp.Eval.Runtime_error _ -> ());
+  (* Wrong shape *)
+  try
+    Interp.Eval.run m "mm"
+      [ B.create [ 2; 2 ]; B.create [ 4; 4 ]; B.create [ 4; 4 ] ];
+    Alcotest.fail "expected shape error"
+  with Interp.Eval.Runtime_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "buffer indexing" `Quick test_buffer_indexing;
+    Alcotest.test_case "buffer init order" `Quick test_buffer_init_iter;
+    Alcotest.test_case "matmul kernel" `Quick test_matmul_kernel;
+    Alcotest.test_case "matvec kernel (both orientations)" `Quick
+      test_matvec_kernel;
+    Alcotest.test_case "transpose kernel" `Quick test_transpose_kernel;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    Alcotest.test_case "reshape kernel" `Quick test_reshape_kernel;
+    Alcotest.test_case "contract generalizes matmul" `Quick
+      test_contract_kernel_is_matmul;
+    Alcotest.test_case "interp gemm = reference" `Quick
+      test_interp_gemm_matches_reference;
+    Alcotest.test_case "interp conv = reference" `Quick
+      test_interp_conv_matches_reference;
+    Alcotest.test_case "interp darknet = 2-d gemm" `Quick
+      test_interp_darknet_equals_2d_gemm;
+    Alcotest.test_case "distribution preserves semantics (all kernels)"
+      `Quick test_interp_distribution_preserves_semantics;
+    Alcotest.test_case "interp argument errors" `Quick test_interp_errors;
+  ]

@@ -1,0 +1,420 @@
+(* Tests for structural, operation and access-pattern matchers. *)
+
+open Ir
+module S = Matchers.Structural
+module OM = Matchers.Op_match
+module Ac = Matchers.Access
+module A = Affine.Affine_ops
+module W = Workloads.Polybench
+
+let func_of_src ?(name = "mm") src =
+  let m = Met.Emit_affine.translate src in
+  Option.get (Core.find_func m name)
+
+let innermost_body f =
+  let nest = List.hd (Affine.Loops.top_level_loops f) in
+  let loops = Affine.Loops.perfect_nest nest in
+  A.for_body (List.nth loops (List.length loops - 1))
+
+(* --- structural ----------------------------------------------------- *)
+
+let test_structural_gemm () =
+  let f = func_of_src (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  let top = List.hd (Affine.Loops.top_level_loops f) in
+  Alcotest.(check bool) "depth 3 matches" true
+    (S.matches (S.perfect ~depth:3 (fun _ -> true)) top);
+  Alcotest.(check bool) "depth 2 fails" false
+    (S.matches (S.perfect ~depth:2 (fun _ -> true)) top);
+  Alcotest.(check bool) "depth 4 fails" false
+    (S.matches (S.perfect ~depth:4 (fun _ -> true)) top);
+  (* Filtering callback: reject nests whose innermost body is too big. *)
+  Alcotest.(check bool) "callback is honoured" false
+    (S.matches (S.perfect ~depth:3 (fun _ -> false)) top)
+
+let test_structural_is_mac () =
+  (* The paper's Listing 5: a 2-d nest whose body is a MAC. *)
+  let f = func_of_src ~name:"f"
+      "void f(float A[4][4], float B[4][4]) { for (int i = 0; i < 4; ++i) \
+       for (int j = 0; j < 4; ++j) A[i][j] = A[i][j] + B[i][j] * 2.0; }"
+  in
+  let is_mac (b : Core.block) =
+    match List.rev (Core.ops_of_block b) with
+    | _yield :: store :: _ when A.is_store store ->
+        let a = ref None and bb = ref None and c = ref None in
+        let mac =
+          OM.op_commutative "arith.addf"
+            [ OM.capt a; OM.op_commutative "arith.mulf" [ OM.capt bb; OM.capt c ] ]
+        in
+        OM.matches mac (A.stored_value store)
+    | _ -> false
+  in
+  let top = List.hd (Affine.Loops.top_level_loops f) in
+  Alcotest.(check bool) "For(For(isMAC))" true
+    (S.matches (S.for_ (S.for_ (S.body is_mac))) top)
+
+(* --- op matchers ----------------------------------------------------- *)
+
+let with_mac_value k =
+  (* Build: r = addf (mulf x y) z inside a tiny function. *)
+  let f = Core.create_func ~name:"t" ~arg_types:[] () in
+  let b = Builder.at_end (Core.func_entry f) in
+  let x = Std_dialect.Arith.constant_float b 1. in
+  let y = Std_dialect.Arith.constant_float b 2. in
+  let z = Std_dialect.Arith.constant_float b 3. in
+  let m = Std_dialect.Arith.mulf b x y in
+  let r = Std_dialect.Arith.addf b m z in
+  k ~x ~y ~z ~m ~r
+
+let test_op_match_shapes () =
+  with_mac_value (fun ~x ~y:_ ~z:_ ~m:_ ~r ->
+      (* Non-commutative matcher in the written order: add(mul, z). *)
+      let pat_fixed = OM.op "arith.addf" [ OM.op "arith.mulf" [ OM.any; OM.any ]; OM.any ] in
+      Alcotest.(check bool) "fixed order matches" true (OM.matches pat_fixed r);
+      (* The paper's shape add(a, mul(b, c)) only matches commutatively. *)
+      let pat_paper = OM.op "arith.addf" [ OM.any; OM.op "arith.mulf" [ OM.any; OM.any ] ] in
+      Alcotest.(check bool) "swapped order fails rigidly" false
+        (OM.matches pat_paper r);
+      let pat_comm =
+        OM.op_commutative "arith.addf"
+          [ OM.any; OM.op "arith.mulf" [ OM.any; OM.any ] ]
+      in
+      Alcotest.(check bool) "commutative matches" true (OM.matches pat_comm r);
+      (* Specific value operand. *)
+      let pat_val =
+        OM.op "arith.addf" [ OM.op "arith.mulf" [ OM.value x; OM.any ]; OM.any ]
+      in
+      Alcotest.(check bool) "value pin matches" true (OM.matches pat_val r))
+
+let test_op_match_capture () =
+  with_mac_value (fun ~x:_ ~y:_ ~z ~m ~r ->
+      let ca = ref None and cm = ref None in
+      let pat =
+        OM.op "arith.addf" [ OM.capture cm (OM.op "arith.mulf" [ OM.any; OM.any ]); OM.capt ca ]
+      in
+      Alcotest.(check bool) "matches" true (OM.matches pat r);
+      (match !ca with
+      | Some v -> Alcotest.(check bool) "captured z" true (Core.value_equal v z)
+      | None -> Alcotest.fail "no capture");
+      match !cm with
+      | Some v -> Alcotest.(check bool) "captured mul" true (Core.value_equal v m)
+      | None -> Alcotest.fail "no capture")
+
+let test_op_match_custom_def () =
+  (* Plug a fake defining relation: every value is "defined" by one op. *)
+  with_mac_value (fun ~x ~y:_ ~z:_ ~m:_ ~r:_ ->
+      let fake = Core.create_op ~operands:[] "fake.op" in
+      let def _ = Some fake in
+      Alcotest.(check bool) "custom def relation" true
+        (OM.matches ~def (OM.op "fake.op" []) x))
+
+(* --- access matchers -------------------------------------------------- *)
+
+let gemm_pattern ctx =
+  let i = Ac.placeholder ctx
+  and j = Ac.placeholder ctx
+  and k = Ac.placeholder ctx in
+  let _C = Ac.array_placeholder ctx in
+  let _A = Ac.array_placeholder ctx in
+  let _B = Ac.array_placeholder ctx in
+  let pat =
+    Ac.Contraction
+      {
+        out = Ac.access _C [ Ac.p i; Ac.p j ];
+        in1 = Ac.access _A [ Ac.p i; Ac.p k ];
+        in2 = Ac.access _B [ Ac.p k; Ac.p j ];
+      }
+  in
+  (pat, (i, j, k), (_C, _A, _B))
+
+let test_access_gemm_matches () =
+  let f = func_of_src (W.mm ~ni:4 ~nj:5 ~nk:6 ()) in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let pat, (i, j, k), (_C, _A, _B) = gemm_pattern ctx in
+  Alcotest.(check bool) "matches" true (Ac.match_block ctx pat body);
+  (* Check the solution: extents from the loops. *)
+  Alcotest.(check (option int)) "i extent" (Some 4) (Ac.solution_extent ctx i);
+  Alcotest.(check (option int)) "j extent" (Some 5) (Ac.solution_extent ctx j);
+  Alcotest.(check (option int)) "k extent" (Some 6) (Ac.solution_extent ctx k);
+  (* Arrays resolve to the function arguments. *)
+  let args = Core.func_args f in
+  Alcotest.(check bool) "A bound" true
+    (Core.value_equal (Ac.array_of ctx _A) (List.nth args 0));
+  Alcotest.(check bool) "B bound" true
+    (Core.value_equal (Ac.array_of ctx _B) (List.nth args 1));
+  Alcotest.(check bool) "C bound" true
+    (Core.value_equal (Ac.array_of ctx _C) (List.nth args 2))
+
+let test_access_gemm_misses_darknet () =
+  (* Figure 8: the 2-d pattern must not match linearized accesses. *)
+  let f = func_of_src ~name:"darknet_gemm" (W.darknet_gemm ~m:4 ~n:4 ~k:4 ()) in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let pat, _, _ = gemm_pattern ctx in
+  Alcotest.(check bool) "no match" false (Ac.match_block ctx pat body)
+
+let test_access_linearized_pattern_matches_darknet () =
+  (* A rank-1 pattern with explicit strides does match Darknet. *)
+  let n = 4 in
+  let f = func_of_src ~name:"darknet_gemm" (W.darknet_gemm ~m:n ~n ~k:n ()) in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let i = Ac.placeholder ctx
+  and j = Ac.placeholder ctx
+  and k = Ac.placeholder ctx in
+  let _C = Ac.array_placeholder ctx in
+  let _A = Ac.array_placeholder ctx in
+  let _B = Ac.array_placeholder ctx in
+  let lin a b = Ac.padd (Ac.term ~coeff:n a) (Ac.p b) in
+  let pat =
+    Ac.Contraction
+      {
+        out = Ac.access _C [ lin i j ];
+        in1 = Ac.access _A [ lin i k ];
+        in2 = Ac.access _B [ lin k j ];
+      }
+  in
+  Alcotest.(check bool) "matches" true (Ac.match_block ctx pat body)
+
+let test_access_transposed_matvec () =
+  (* y(j) += A(i,j) * x(i): subscripts force the transposed binding. *)
+  let src =
+    "void f(float A[4][6], float x[4], float y[6]) { for (int i = 0; i < 4; \
+     ++i) for (int j = 0; j < 6; ++j) y[j] += A[i][j] * x[i]; }"
+  in
+  let f = func_of_src ~name:"f" src in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let i = Ac.placeholder ctx and j = Ac.placeholder ctx in
+  let _A = Ac.array_placeholder ctx in
+  let _x = Ac.array_placeholder ctx in
+  let _y = Ac.array_placeholder ctx in
+  let pat =
+    Ac.Contraction
+      {
+        out = Ac.access _y [ Ac.p j ];
+        in1 = Ac.access _A [ Ac.p i; Ac.p j ];
+        in2 = Ac.access _x [ Ac.p i ];
+      }
+  in
+  Alcotest.(check bool) "matches" true (Ac.match_block ctx pat body);
+  Alcotest.(check (option int)) "i extent" (Some 4) (Ac.solution_extent ctx i);
+  Alcotest.(check (option int)) "j extent" (Some 6) (Ac.solution_extent ctx j)
+
+let test_access_conv_window () =
+  (* 1-d convolution: O(x) += I(x + r) * W(r). *)
+  let src =
+    "void f(float I[12], float K[3], float O[10]) { for (int x = 0; x < 10; \
+     ++x) for (int r = 0; r < 3; ++r) O[x] += I[x + r] * K[r]; }"
+  in
+  let f = func_of_src ~name:"f" src in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let x = Ac.placeholder ctx and r = Ac.placeholder ctx in
+  let _I = Ac.array_placeholder ctx in
+  let _K = Ac.array_placeholder ctx in
+  let _O = Ac.array_placeholder ctx in
+  let pat =
+    Ac.Contraction
+      {
+        out = Ac.access _O [ Ac.p x ];
+        in1 = Ac.access _I [ Ac.padd (Ac.p x) (Ac.p r) ];
+        in2 = Ac.access _K [ Ac.p r ];
+      }
+  in
+  Alcotest.(check bool) "conv window matches" true (Ac.match_block ctx pat body)
+
+let test_access_scaled_offset () =
+  (* Listing 6 style: load A[2*i + 1][j + 5]. *)
+  let src =
+    "void f(float A[16][16], float B[4][4]) { for (int i = 0; i < 4; ++i) \
+     for (int j = 0; j < 4; ++j) B[i][j] = B[i][j] + A[2*i + 1][j + 5] * 3.0; }"
+  in
+  (* Not a pure contraction (constant multiplier), so use Copy on a
+     simpler variant instead: B[i][j] = A[2*i + 1][j + 5]. *)
+  ignore src;
+  let src =
+    "void f(float A[16][16], float B[4][4]) { for (int i = 0; i < 4; ++i) \
+     for (int j = 0; j < 4; ++j) B[i][j] = A[2*i + 1][j + 5]; }"
+  in
+  let f = func_of_src ~name:"f" src in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let i = Ac.placeholder ctx and j = Ac.placeholder ctx in
+  let _A = Ac.array_placeholder ctx in
+  let _B = Ac.array_placeholder ctx in
+  let pat =
+    Ac.Copy
+      {
+        out = Ac.access _B [ Ac.p i; Ac.p j ];
+        src =
+          Ac.access _A
+            [ Ac.term ~coeff:2 ~shift:1 i; Ac.term ~shift:5 j ];
+      }
+  in
+  Alcotest.(check bool) "k*iota+c matches" true (Ac.match_block ctx pat body);
+  (* Wrong coefficient must fail. *)
+  let ctx2 = Ac.create_ctx () in
+  let i2 = Ac.placeholder ctx2 and j2 = Ac.placeholder ctx2 in
+  let _A2 = Ac.array_placeholder ctx2 in
+  let _B2 = Ac.array_placeholder ctx2 in
+  let bad =
+    Ac.Copy
+      {
+        out = Ac.access _B2 [ Ac.p i2; Ac.p j2 ];
+        src =
+          Ac.access _A2
+            [ Ac.term ~coeff:3 ~shift:1 i2; Ac.term ~shift:5 j2 ];
+      }
+  in
+  Alcotest.(check bool) "wrong coefficient fails" false
+    (Ac.match_block ctx2 bad body)
+
+let test_access_placeholder_consistency () =
+  (* Pattern C(i,i): both subscripts must resolve to the same iv. *)
+  let mk_pat ctx =
+    let i = Ac.placeholder ctx in
+    let _C = Ac.array_placeholder ctx in
+    let _A = Ac.array_placeholder ctx in
+    Ac.Copy
+      {
+        out = Ac.access _C [ Ac.p i; Ac.p i ];
+        src = Ac.access _A [ Ac.p i; Ac.p i ];
+      }
+  in
+  let diag =
+    func_of_src ~name:"f"
+      "void f(float A[4][4], float C[4][4]) { for (int i = 0; i < 4; ++i) \
+       C[i][i] = A[i][i]; }"
+  in
+  let ctx = Ac.create_ctx () in
+  Alcotest.(check bool) "diagonal matches" true
+    (Ac.match_block ctx (mk_pat ctx) (innermost_body diag));
+  let full =
+    func_of_src ~name:"f"
+      "void f(float A[4][4], float C[4][4]) { for (int i = 0; i < 4; ++i) \
+       for (int j = 0; j < 4; ++j) C[i][j] = A[i][j]; }"
+  in
+  let ctx2 = Ac.create_ctx () in
+  Alcotest.(check bool) "C[i][j] does not match C(i,i)" false
+    (Ac.match_block ctx2 (mk_pat ctx2) (innermost_body full))
+
+let test_access_placeholder_distinctness () =
+  (* Distinct placeholders may not share a candidate. *)
+  let diag =
+    func_of_src ~name:"f"
+      "void f(float A[4][4], float C[4][4]) { for (int i = 0; i < 4; ++i) \
+       C[i][i] = A[i][i]; }"
+  in
+  let ctx = Ac.create_ctx () in
+  let i = Ac.placeholder ctx and j = Ac.placeholder ctx in
+  let _C = Ac.array_placeholder ctx in
+  let _A = Ac.array_placeholder ctx in
+  let pat =
+    Ac.Copy
+      {
+        out = Ac.access _C [ Ac.p i; Ac.p j ];
+        src = Ac.access _A [ Ac.p i; Ac.p j ];
+      }
+  in
+  Alcotest.(check bool) "C[i][i] does not match C(i,j)" false
+    (Ac.match_block ctx pat (innermost_body diag))
+
+let test_access_array_distinctness () =
+  (* Distinct array placeholders may not bind the same memref: an in-place
+     "C += C * C" must not match the three-array contraction. *)
+  let f =
+    func_of_src ~name:"f"
+      "void f(float C[4][4]) { for (int i = 0; i < 4; ++i) for (int j = 0; \
+       j < 4; ++j) for (int k = 0; k < 4; ++k) C[i][j] += C[i][k] * C[k][j]; }"
+  in
+  let ctx = Ac.create_ctx () in
+  let pat, _, _ = gemm_pattern ctx in
+  Alcotest.(check bool) "aliasing rejected" false
+    (Ac.match_block ctx pat (innermost_body f))
+
+let test_access_init_const () =
+  let f =
+    func_of_src ~name:"f"
+      "void f(float C[4][4]) { for (int i = 0; i < 4; ++i) for (int j = 0; \
+       j < 4; ++j) C[i][j] = 0.0; }"
+  in
+  let ctx = Ac.create_ctx () in
+  let i = Ac.placeholder ctx and j = Ac.placeholder ctx in
+  let _C = Ac.array_placeholder ctx in
+  let pat = Ac.Init_const { out = Ac.access _C [ Ac.p i; Ac.p j ] } in
+  Alcotest.(check bool) "matches" true
+    (Ac.match_block ctx pat (innermost_body f));
+  Alcotest.(check (float 0.)) "constant" 0.0 (Ac.const_of ctx)
+
+let test_access_rejects_extra_ops () =
+  (* A block computing two statements must not match the contraction. *)
+  let f =
+    func_of_src ~name:"f"
+      "void f(float A[4][4], float B[4][4], float C[4][4], float D[4][4]) { \
+       for (int i = 0; i < 4; ++i) for (int j = 0; j < 4; ++j) for (int k = \
+       0; k < 4; ++k) { C[i][j] += A[i][k] * B[k][j]; D[i][j] += A[i][k] * \
+       B[k][j]; } }"
+  in
+  (* Note: distribution would split these, so emit without it. *)
+  ignore f;
+  let m =
+    Met.Emit_affine.program ~distribute:false
+      (Met.C_parser.parse_program
+         "void f(float A[4][4], float B[4][4], float C[4][4], float D[4][4]) \
+          { for (int i = 0; i < 4; ++i) for (int j = 0; j < 4; ++j) for (int \
+          k = 0; k < 4; ++k) { C[i][j] += A[i][k] * B[k][j]; D[i][j] += \
+          A[i][k] * B[k][j]; } }")
+  in
+  let f = Option.get (Core.find_func m "f") in
+  let ctx = Ac.create_ctx () in
+  let pat, _, _ = gemm_pattern ctx in
+  Alcotest.(check bool) "extra ops rejected" false
+    (Ac.match_block ctx pat (innermost_body f))
+
+let test_access_commuted_source_matches () =
+  (* The accumulation written as mul-first and operands swapped. *)
+  let f =
+    func_of_src ~name:"f"
+      "void f(float A[4][4], float B[4][4], float C[4][4]) { for (int i = \
+       0; i < 4; ++i) for (int j = 0; j < 4; ++j) for (int k = 0; k < 4; \
+       ++k) C[i][j] = B[k][j] * A[i][k] + C[i][j]; }"
+  in
+  let ctx = Ac.create_ctx () in
+  let pat, _, _ = gemm_pattern ctx in
+  Alcotest.(check bool) "commuted forms match" true
+    (Ac.match_block ctx pat (innermost_body f))
+
+let suite =
+  [
+    Alcotest.test_case "structural gemm depths" `Quick test_structural_gemm;
+    Alcotest.test_case "structural For(For(isMAC))" `Quick
+      test_structural_is_mac;
+    Alcotest.test_case "op matcher shapes" `Quick test_op_match_shapes;
+    Alcotest.test_case "op matcher captures" `Quick test_op_match_capture;
+    Alcotest.test_case "op matcher custom def relation" `Quick
+      test_op_match_custom_def;
+    Alcotest.test_case "access: gemm matches" `Quick test_access_gemm_matches;
+    Alcotest.test_case "access: 2-d pattern misses darknet (fig 8)" `Quick
+      test_access_gemm_misses_darknet;
+    Alcotest.test_case "access: linearized pattern matches darknet" `Quick
+      test_access_linearized_pattern_matches_darknet;
+    Alcotest.test_case "access: transposed matvec" `Quick
+      test_access_transposed_matvec;
+    Alcotest.test_case "access: conv window (x + r)" `Quick
+      test_access_conv_window;
+    Alcotest.test_case "access: k*iota+c coefficients" `Quick
+      test_access_scaled_offset;
+    Alcotest.test_case "access: repeated placeholder consistency" `Quick
+      test_access_placeholder_consistency;
+    Alcotest.test_case "access: placeholder distinctness" `Quick
+      test_access_placeholder_distinctness;
+    Alcotest.test_case "access: array distinctness" `Quick
+      test_access_array_distinctness;
+    Alcotest.test_case "access: init-const statement" `Quick
+      test_access_init_const;
+    Alcotest.test_case "access: extra statements rejected" `Quick
+      test_access_rejects_extra_ops;
+    Alcotest.test_case "access: commuted source forms" `Quick
+      test_access_commuted_source_matches;
+  ]

@@ -1,0 +1,264 @@
+(* Tests for the core MLT library: tactics registry, matrix-chain
+   reordering, the Linalg->BLAS conversion, and the end-to-end pipelines
+   (all validated against the interpreter). *)
+
+open Ir
+module W = Workloads.Polybench
+module MC = Mlt.Matrix_chain
+
+let count_ops m name =
+  let c = ref 0 in
+  Core.walk m (fun op -> if String.equal op.Core.o_name name then incr c);
+  !c
+
+(* --- matrix chain DP --------------------------------------------------- *)
+
+let test_chain_cormen_example () =
+  (* CLRS classic: dims 30x35x15x5x10x20x25, optimal cost 15125. *)
+  let dims = [| 30; 35; 15; 5; 10; 20; 25 |] in
+  let _, cost = MC.optimal dims in
+  Alcotest.(check (float 0.)) "clrs optimal" 15125. cost
+
+let test_chain_paper_example () =
+  (* §5.3: 800x1100, 1100x1200, 1200x100. *)
+  let dims = [| 800; 1100; 1200; 100 |] in
+  let t_opt, c_opt = MC.optimal dims in
+  let _, c_left = MC.left_assoc dims in
+  Alcotest.(check (float 0.)) "left-assoc mults" 1.152e9 c_left;
+  Alcotest.(check (float 0.)) "optimal mults" 2.2e8 c_opt;
+  Alcotest.(check string) "optimal shape" "(A1x(A2xA3))" (MC.to_string t_opt)
+
+let test_chain_table2_orders () =
+  (* Table II: the optimal parenthesizations reported by the paper. *)
+  let cases =
+    [
+      ([| 800; 1100; 900; 1200; 100 |], "(A1x(A2x(A3xA4)))");
+      ([| 1000; 2000; 900; 1500; 600; 800 |], "((A1x(A2x(A3xA4)))xA5)");
+      ( [| 1500; 400; 2000; 2200; 600; 1400; 1000 |],
+        "(A1x((((A2xA3)xA4)xA5)xA6))" );
+    ]
+  in
+  List.iter
+    (fun (dims, expected) ->
+      let t, _ = MC.optimal dims in
+      Alcotest.(check string) "parenthesization" expected (MC.to_string t))
+    cases
+
+let prop_chain_optimal_matches_brute_force =
+  QCheck.Test.make ~name:"DP = brute force on random chains" ~count:100
+    QCheck.(list_of_size (Gen.int_range 3 7) (int_range 1 50))
+    (fun dims_list ->
+      QCheck.assume (List.length dims_list >= 3);
+      let dims = Array.of_list dims_list in
+      let _, c1 = MC.optimal dims in
+      let _, c2 = MC.brute_force dims in
+      c1 = c2)
+
+let prop_chain_optimal_never_worse =
+  QCheck.Test.make ~name:"optimal <= left-assoc" ~count:200
+    QCheck.(list_of_size (Gen.int_range 3 9) (int_range 1 100))
+    (fun dims_list ->
+      QCheck.assume (List.length dims_list >= 3);
+      let dims = Array.of_list dims_list in
+      let _, c1 = MC.optimal dims in
+      let _, c2 = MC.left_assoc dims in
+      c1 <= c2)
+
+(* --- fill tactic -------------------------------------------------------- *)
+
+let test_fill_raising () =
+  let src =
+    "void f(float C[6][8]) { for (int i = 0; i < 6; ++i) for (int j = 0; j \
+     < 8; ++j) C[i][j] = 0.0; }"
+  in
+  let m = Met.Emit_affine.translate src in
+  let n = Rewriter.apply_greedily m [ Mlt.Tactics.fill_pattern () ] in
+  Alcotest.(check int) "raised" 1 n;
+  Alcotest.(check int) "fill op" 1 (count_ops m "linalg.fill");
+  (* Partial initialization must not raise. *)
+  let src2 =
+    "void f(float C[6][8]) { for (int i = 0; i < 3; ++i) for (int j = 0; j \
+     < 8; ++j) C[i][j] = 0.0; }"
+  in
+  let m2 = Met.Emit_affine.translate src2 in
+  Alcotest.(check int) "partial not raised" 0
+    (Rewriter.apply_greedily m2 [ Mlt.Tactics.fill_pattern () ])
+
+(* --- chain detection and reordering ------------------------------------ *)
+
+let chain_module dims =
+  let m = Met.Emit_affine.translate (W.matrix_chain dims) in
+  let f = Option.get (Core.find_func m "chain") in
+  ignore (Mlt.Tactics.raise_to_linalg f);
+  (m, f)
+
+let test_chain_detection () =
+  let _, f = chain_module [ 8; 9; 10; 11 ] in
+  match Mlt.Raise_chain.detect f with
+  | [ chain ] ->
+      Alcotest.(check int) "two matmuls" 2
+        (List.length chain.Mlt.Raise_chain.matmuls);
+      Alcotest.(check int) "three inputs" 3
+        (List.length chain.Mlt.Raise_chain.inputs)
+  | chains -> Alcotest.failf "expected 1 chain, got %d" (List.length chains)
+
+let test_chain_m_op_listing9 () =
+  (* Listing 9: m_Op<MatmulOp> chained through the last-writer relation. *)
+  let _, f = chain_module [ 8; 9; 10; 11; 12 ] in
+  let matmuls = ref [] in
+  Core.walk f (fun op ->
+      if Linalg.Linalg_ops.is_matmul op then matmuls := op :: !matmuls);
+  let last = List.hd !matmuls in
+  let def v = Mlt.Raise_chain.last_writer ~anchor:last v in
+  (* Match from the last matmul's first operand: produced by a matmul whose
+     own first operand is produced by yet another matmul. *)
+  let open Matchers.Op_match in
+  let pat =
+    op "linalg.matmul" [ op "linalg.matmul" [ any; any; any ]; any; any ]
+  in
+  Alcotest.(check bool) "chain matched through buffers" true
+    (matches ~def pat (Core.operand last 0))
+
+let test_chain_reorder_semantics () =
+  (* Table II chain 1 scaled down; reordering must preserve semantics. *)
+  let dims = [ 16; 22; 18; 24; 2 ] in
+  let reference = Met.Emit_affine.translate (W.matrix_chain dims) in
+  let m, f = chain_module dims in
+  let n = Mlt.Raise_chain.reorder f in
+  Alcotest.(check int) "one chain rewritten" 1 n;
+  Verifier.verify m;
+  Alcotest.(check bool) "equivalent" true
+    (Interp.Eval.equivalent reference m "chain" ~seed:77)
+
+let test_chain_reorder_structure () =
+  let dims = [ 16; 22; 18; 24; 2 ] in
+  let _, f = chain_module dims in
+  ignore (Mlt.Raise_chain.reorder f);
+  (* Optimal for (16,22,18,24,2) per DP. *)
+  let t, _ = MC.optimal (Array.of_list dims |> Array.map Fun.id) in
+  (* The rewritten function has 3 matmuls still. *)
+  let matmul_count = ref 0 in
+  Core.walk f (fun op ->
+      if Linalg.Linalg_ops.is_matmul op then incr matmul_count);
+  Alcotest.(check int) "three matmuls" 3 !matmul_count;
+  ignore t
+
+let test_chain_already_optimal_untouched () =
+  (* Square chain: left-assoc is already optimal; nothing to rewrite. *)
+  let dims = [ 8; 8; 8; 8 ] in
+  let _, f = chain_module dims in
+  Alcotest.(check int) "no rewrite" 0 (Mlt.Raise_chain.reorder f)
+
+(* --- linalg -> blas ------------------------------------------------------ *)
+
+let test_to_blas_conversion () =
+  let m = Met.Emit_affine.translate (W.gemm ~ni:8 ~nj:8 ~nk:8 ()) in
+  let f = Option.get (Core.find_func m "gemm") in
+  ignore (Mlt.Tactics.raise_to_linalg f);
+  ignore (Mlt.To_blas.run f);
+  Alcotest.(check int) "sgemm call" 1 (count_ops m "blas.sgemm");
+  Alcotest.(check int) "no linalg.matmul" 0 (count_ops m "linalg.matmul")
+
+let test_to_blas_preserves_semantics () =
+  let src = W.gemm ~ni:8 ~nj:8 ~nk:8 () in
+  let reference = Met.Emit_affine.translate src in
+  let m = Met.Emit_affine.translate src in
+  let f = Option.get (Core.find_func m "gemm") in
+  ignore (Mlt.Tactics.raise_to_linalg f);
+  ignore (Mlt.To_blas.run f);
+  Transforms.Lower_linalg.run f;
+  Verifier.verify m;
+  Alcotest.(check bool) "equivalent" true
+    (Interp.Eval.equivalent reference m "gemm" ~seed:3)
+
+(* --- pipelines ------------------------------------------------------------ *)
+
+let test_pipelines_preserve_semantics () =
+  (* Every Figure-9 configuration must compute the same function as the
+     plain translation, for every kernel of the tiny suite. *)
+  List.iter
+    (fun (kname, src) ->
+      let reference = Met.Emit_affine.translate src in
+      let fname =
+        (List.hd (Met.C_parser.parse_program src)).Met.C_ast.k_name
+      in
+      List.iter
+        (fun config ->
+          match config with
+          | Mlt.Pipeline.Pluto_best -> () (* timing-level only *)
+          | _ ->
+              let m = Mlt.Pipeline.prepare config src in
+              if not (Interp.Eval.equivalent reference m fname ~seed:13) then
+                Alcotest.failf "%s under %s: semantics changed" kname
+                  (Mlt.Pipeline.config_name config))
+        Mlt.Pipeline.all_figure9_configs)
+    (W.tiny_suite ())
+
+let test_pipeline_sec51_semantics () =
+  let src = W.mm ~ni:8 ~nj:8 ~nk:8 () in
+  let reference = Met.Emit_affine.translate src in
+  let m = Mlt.Pipeline.prepare Mlt.Pipeline.Mlt_affine_blis src in
+  Alcotest.(check int) "affine.matmul" 1 (count_ops m "affine.matmul");
+  Alcotest.(check bool) "equivalent" true
+    (Interp.Eval.equivalent reference m "mm" ~seed:4)
+
+let test_pipeline_mlt_blas_raises_gemm () =
+  let m = Mlt.Pipeline.prepare Mlt.Pipeline.Mlt_blas (W.gemm ~ni:16 ~nj:16 ~nk:16 ()) in
+  Alcotest.(check int) "sgemm" 1 (count_ops m "blas.sgemm")
+
+let test_fig8_callsite_counts () =
+  (* Figure 8: detected callsites vs oracle. *)
+  let n = 16 in
+  let cases =
+    [
+      ("mm", W.mm ~ni:n ~nj:n ~nk:n (), 1);
+      ("2mm", W.two_mm ~ni:n ~nj:n ~nk:n ~nl:n (), 2);
+      ("3mm", W.three_mm ~ni:n ~nj:n ~nk:n ~nl:n ~nm:n (), 3);
+      ("darknet", W.darknet_gemm ~m:n ~n ~k:n (), 0 (* oracle: 1; missed *));
+    ]
+  in
+  List.iter
+    (fun (name, src, expected) ->
+      Alcotest.(check int) name expected
+        (Mlt.Pipeline.count_gemm_callsites src))
+    cases
+
+let test_compile_time_runs () =
+  let sources = List.map snd (W.tiny_suite ()) in
+  let t_base = Mlt.Pipeline.compile_time `Baseline sources in
+  let t_mlt = Mlt.Pipeline.compile_time `With_mlt sources in
+  Alcotest.(check bool) "baseline positive" true (t_base > 0.);
+  Alcotest.(check bool) "mlt not absurdly slower" true (t_mlt < t_base *. 50.)
+
+let suite =
+  [
+    Alcotest.test_case "chain: CLRS example" `Quick test_chain_cormen_example;
+    Alcotest.test_case "chain: paper 5.3 example" `Quick
+      test_chain_paper_example;
+    Alcotest.test_case "chain: Table II parenthesizations" `Quick
+      test_chain_table2_orders;
+    QCheck_alcotest.to_alcotest prop_chain_optimal_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_chain_optimal_never_worse;
+    Alcotest.test_case "fill raising" `Quick test_fill_raising;
+    Alcotest.test_case "chain detection" `Quick test_chain_detection;
+    Alcotest.test_case "chain via m_Op last-writer (listing 9)" `Quick
+      test_chain_m_op_listing9;
+    Alcotest.test_case "chain reorder preserves semantics" `Quick
+      test_chain_reorder_semantics;
+    Alcotest.test_case "chain reorder structure" `Quick
+      test_chain_reorder_structure;
+    Alcotest.test_case "optimal chain untouched" `Quick
+      test_chain_already_optimal_untouched;
+    Alcotest.test_case "linalg->blas conversion" `Quick test_to_blas_conversion;
+    Alcotest.test_case "linalg->blas semantics" `Quick
+      test_to_blas_preserves_semantics;
+    Alcotest.test_case "all pipelines preserve semantics" `Quick
+      test_pipelines_preserve_semantics;
+    Alcotest.test_case "sec 5.1 pipeline" `Quick test_pipeline_sec51_semantics;
+    Alcotest.test_case "mlt-blas raises gemm" `Quick
+      test_pipeline_mlt_blas_raises_gemm;
+    Alcotest.test_case "figure 8 callsite counts" `Quick
+      test_fig8_callsite_counts;
+    Alcotest.test_case "compile-time measurement runs" `Quick
+      test_compile_time_runs;
+  ]

@@ -1,0 +1,108 @@
+(* Tests for the pass manager (timing instrumentation used by §5.2) and
+   the dialect registry. *)
+
+open Ir
+module W = Workloads.Polybench
+
+let test_manager_runs_in_order () =
+  let log = ref [] in
+  let mk name = Pass.make ~name (fun _ -> log := name :: !log) in
+  let pm = Pass.create_manager () in
+  Pass.add_all pm [ mk "a"; mk "b"; mk "c" ];
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  Pass.run pm m;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_manager_records_timings () =
+  let pm = Pass.create_manager () in
+  Pass.add_all pm
+    [
+      Transforms.Canonicalize.pass;
+      Transforms.Lower_linalg.pass;
+      Transforms.Lower_affine.pass;
+      Transforms.Dce.pass;
+    ];
+  let m = Met.Emit_affine.translate (W.gemm ~ni:8 ~nj:8 ~nk:8 ()) in
+  Pass.run pm m;
+  let ts = Pass.timings pm in
+  Alcotest.(check int) "one timing per pass" 4 (List.length ts);
+  Alcotest.(check (list string)) "names"
+    [ "canonicalize"; "lower-linalg-to-affine"; "lower-affine-to-scf"; "dce" ]
+    (List.map (fun t -> t.Pass.pass_name) ts);
+  Alcotest.(check bool) "total accumulates" true (Pass.total_seconds pm >= 0.);
+  Pass.clear_timings pm;
+  Alcotest.(check int) "cleared" 0 (List.length (Pass.timings pm))
+
+let test_manager_verify_each_catches_breakage () =
+  let breaker =
+    Pass.make ~name:"breaker" (fun root ->
+        (* Introduce a use of an undefined value. *)
+        let f = Option.get (Core.find_func root "mm") in
+        let loop = List.hd (Affine.Loops.top_level_loops f) in
+        let iv = Affine.Affine_ops.for_iv loop in
+        let b = Builder.at_end (Core.func_entry f) in
+        ignore (Affine.Affine_ops.apply b (Affine_map.identity 1) [ iv ]))
+  in
+  let pm = Pass.create_manager ~verify_each:true () in
+  Pass.add pm breaker;
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  match Support.Diag.wrap (fun () -> Pass.run pm m) with
+  | Ok () -> Alcotest.fail "expected verification failure naming the pass"
+  | Error msg ->
+      Alcotest.(check bool) "names the pass" true
+        (Astring_contains.contains msg "breaker")
+
+let test_full_pipeline_as_passes () =
+  (* The whole raising+lowering pipeline expressed through the manager. *)
+  let reference = Met.Emit_affine.translate (W.gemm ~ni:8 ~nj:8 ~nk:8 ()) in
+  let m = Met.Emit_affine.translate (W.gemm ~ni:8 ~nj:8 ~nk:8 ()) in
+  let pm = Pass.create_manager ~verify_each:true () in
+  Pass.add_all pm
+    [
+      Transforms.Canonicalize.pass;
+      Pass.make ~name:"raise-to-linalg" (fun root ->
+          ignore (Mlt.Tactics.raise_to_linalg root));
+      Mlt.Raise_chain.pass;
+      Mlt.To_blas.pass;
+      Transforms.Lower_linalg.pass;
+      Transforms.Lower_affine.pass;
+      Transforms.Dce.pass;
+    ];
+  Pass.run pm m;
+  Alcotest.(check bool) "equivalent after 7-pass pipeline" true
+    (Interp.Eval.equivalent reference m "gemm" ~seed:83)
+
+let test_dialect_registry () =
+  Std_dialect.Arith.register ();
+  Std_dialect.Scf.register ();
+  Affine.Affine_ops.register ();
+  Linalg.Linalg_ops.register ();
+  Blas.Blas_ops.register ();
+  let ops = Dialect.registered_ops () in
+  List.iter
+    (fun name ->
+      if not (List.mem name ops) then Alcotest.failf "%s not registered" name)
+    [
+      "arith.addf"; "affine.for"; "affine.matmul"; "scf.for";
+      "linalg.matmul"; "linalg.contract"; "blas.sgemm"; "memref.load";
+    ];
+  Alcotest.(check bool) "addf commutative" true
+    (Dialect.is_commutative
+       (Core.create_op ~operands:[] ~result_types:[] "arith.addf"));
+  Alcotest.(check bool) "subf not commutative" false
+    (Dialect.is_commutative
+       (Core.create_op ~operands:[] ~result_types:[] "arith.subf"));
+  Alcotest.(check string) "dialect_of" "affine" (Dialect.dialect_of "affine.for")
+
+let suite =
+  [
+    Alcotest.test_case "manager runs in order" `Quick
+      test_manager_runs_in_order;
+    Alcotest.test_case "manager records timings" `Quick
+      test_manager_records_timings;
+    Alcotest.test_case "verify-each names the breaking pass" `Quick
+      test_manager_verify_each_catches_breakage;
+    Alcotest.test_case "full pipeline through the manager" `Quick
+      test_full_pipeline_as_passes;
+    Alcotest.test_case "dialect registry" `Quick test_dialect_registry;
+  ]

@@ -1,0 +1,196 @@
+(* Randomized end-to-end properties: the heavyweight guarantees of the
+   reproduction. Each property drives whole pipelines on generated
+   programs and checks interpreter equivalence. *)
+
+open Ir
+module W = Workloads
+
+(* ---- random contraction specs ----------------------------------------- *)
+
+(* Generate a well-formed contraction: pick disjoint index groups
+   M (free in A), N (free in B), K (contracted), assemble the output from
+   a shuffle of M @ N and the inputs from shuffles of their groups. *)
+let gen_spec =
+  let open QCheck.Gen in
+  let* m_count = int_range 1 2 in
+  let* n_count = int_range 1 2 in
+  let* k_count = int_range 1 2 in
+  let letters = [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ] in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let m_idx = take m_count letters in
+  let n_idx = take n_count (List.filteri (fun i _ -> i >= m_count) letters) in
+  let k_idx =
+    take k_count (List.filteri (fun i _ -> i >= m_count + n_count) letters)
+  in
+  let* out = shuffle_l (m_idx @ n_idx) in
+  let* in1 = shuffle_l (m_idx @ k_idx) in
+  let* in2 = shuffle_l (n_idx @ k_idx) in
+  let str l = String.init (List.length l) (List.nth l) in
+  return (Printf.sprintf "%s-%s-%s" (str out) (str in1) (str in2))
+
+let arb_spec = QCheck.make ~print:Fun.id gen_spec
+
+let prop_random_contraction_ttgt =
+  QCheck.Test.make ~name:"random contractions: TTGT raising is semantics-preserving"
+    ~count:40 arb_spec (fun spec_str ->
+      let spec = W.Contraction_spec.parse spec_str in
+      let sizes =
+        List.mapi
+          (fun i c -> (c, 3 + ((i * 2) mod 4)))
+          (W.Contraction_spec.all_indices spec)
+      in
+      let src =
+        W.Contraction_spec.c_source spec ~sizes ~init:false ~name:"kern" ()
+      in
+      let reference = Met.Emit_affine.translate src in
+      let m = Met.Emit_affine.translate src in
+      let pat = Mlt.Tactics.contraction spec in
+      let n = Rewriter.apply_greedily m [ pat ] in
+      Verifier.verify m;
+      n = 1 && Interp.Eval.equivalent reference m "kern" ~seed:61)
+
+let prop_random_contraction_full_pipeline =
+  QCheck.Test.make
+    ~name:"random contractions: raise + lower + scf roundtrip" ~count:20
+    arb_spec (fun spec_str ->
+      let spec = W.Contraction_spec.parse spec_str in
+      let sizes =
+        List.map (fun c -> (c, 4)) (W.Contraction_spec.all_indices spec)
+      in
+      let src =
+        W.Contraction_spec.c_source spec ~sizes ~init:true ~name:"kern" ()
+      in
+      let reference = Met.Emit_affine.translate src in
+      let m = Met.Emit_affine.translate src in
+      ignore
+        (Rewriter.apply_greedily m
+           [ Mlt.Tactics.fill_pattern (); Mlt.Tactics.contraction spec ]);
+      Transforms.Lower_linalg.run m;
+      Transforms.Lower_affine.run m;
+      ignore (Transforms.Raise_scf.run m);
+      Verifier.verify m;
+      Interp.Eval.equivalent reference m "kern" ~seed:67)
+
+(* ---- random matrix chains --------------------------------------------- *)
+
+let prop_random_chain_reorder =
+  QCheck.Test.make ~name:"random chains: reorder is semantics-preserving"
+    ~count:25
+    QCheck.(list_of_size (Gen.int_range 4 7) (int_range 2 14))
+    (fun dims ->
+      QCheck.assume (List.length dims >= 4);
+      let src = W.Polybench.matrix_chain dims in
+      let reference = Met.Emit_affine.translate src in
+      let m = Met.Emit_affine.translate src in
+      let f = Option.get (Core.find_func m "chain") in
+      ignore (Mlt.Tactics.raise_to_linalg f);
+      ignore (Mlt.Raise_chain.reorder f);
+      Verifier.verify m;
+      Interp.Eval.equivalent reference m "chain" ~seed:71)
+
+(* ---- random tilings ---------------------------------------------------- *)
+
+let prop_random_tiling =
+  QCheck.Test.make ~name:"random tile sizes preserve gemm semantics"
+    ~count:40
+    QCheck.(
+      triple (int_range 2 13)
+        (triple (int_range 3 11) (int_range 3 11) (int_range 3 11))
+        bool)
+    (fun (tile, (ni, nj, nk), fuse) ->
+      let src = W.Polybench.gemm ~ni ~nj ~nk () in
+      let reference = Met.Emit_affine.translate src in
+      let m = Met.Emit_affine.translate src in
+      if fuse then
+        ignore (Transforms.Loop_fuse.run Transforms.Loop_fuse.Max_fuse m);
+      Transforms.Loop_tile.tile_all m ~size:tile;
+      Verifier.verify m;
+      Interp.Eval.equivalent reference m "gemm" ~seed:73)
+
+(* ---- affine map algebra ------------------------------------------------- *)
+
+let gen_perm n =
+  QCheck.Gen.(map Array.of_list (shuffle_l (List.init n Fun.id)))
+
+let prop_map_compose_eval =
+  QCheck.Test.make ~name:"map composition commutes with evaluation" ~count:200
+    QCheck.(
+      pair (make (gen_perm 4))
+        (quad (int_range 0 9) (int_range 0 9) (int_range 0 9) (int_range 0 9)))
+    (fun (p, (a, b, c, d)) ->
+      let f = Affine_map.permutation p in
+      let g =
+        Affine_map.make ~n_dims:4
+          Affine_expr.
+            [
+              add (dim 0) (dim 1);
+              mul (const 2) (dim 2);
+              add (dim 3) (const 5);
+              dim 0;
+            ]
+      in
+      let dims = [| a; b; c; d |] in
+      let composed = Affine_map.eval (Affine_map.compose f g) ~dims () in
+      let two_step =
+        Affine_map.eval f ~dims:(Affine_map.eval g ~dims ()) ()
+      in
+      composed = two_step)
+
+let prop_inverse_permutation =
+  QCheck.Test.make ~name:"permutation inverse round-trips index vectors"
+    ~count:200
+    QCheck.(pair (make (gen_perm 5)) (make Gen.(array_size (return 5) (int_bound 99))))
+    (fun (p, v) ->
+      let f = Affine_map.permutation p in
+      let inv = Affine_map.permutation (Affine_map.inverse_permutation p) in
+      Affine_map.eval inv ~dims:(Affine_map.eval f ~dims:v ()) () = v)
+
+(* ---- random mini-C programs through the parser round trip -------------- *)
+
+let gen_mini_c =
+  let open QCheck.Gen in
+  let* depth = int_range 1 3 in
+  let* extents = list_repeat depth (int_range 2 5) in
+  let* use_offset = bool in
+  let vars = [ "i"; "j"; "k" ] in
+  let subscripts =
+    String.concat ""
+      (List.mapi (fun d _ -> Printf.sprintf "[%s]" (List.nth vars d)) extents)
+  in
+  let dims =
+    String.concat ""
+      (List.map (fun e -> Printf.sprintf "[%d]" (e + if use_offset then 1 else 0)) extents)
+  in
+  let stmt =
+    Printf.sprintf "A%s = A%s + 1.0;" subscripts subscripts
+  in
+  let rec loops d =
+    if d = depth then stmt
+    else
+      Printf.sprintf "for (int %s = 0; %s < %d; ++%s) { %s }"
+        (List.nth vars d) (List.nth vars d) (List.nth extents d)
+        (List.nth vars d) (loops (d + 1))
+  in
+  return (Printf.sprintf "void f(float A%s) { %s }" dims (loops 0))
+
+let prop_random_programs_roundtrip =
+  QCheck.Test.make ~name:"random programs: print/parse IR roundtrip" ~count:60
+    (QCheck.make ~print:Fun.id gen_mini_c)
+    (fun src ->
+      let m = Met.Emit_affine.translate src in
+      let printed = Printer.op_to_string m in
+      let m2 = Parser.parse_module printed in
+      Printer.op_to_string m2 = printed
+      && Interp.Eval.equivalent m m2 "f" ~seed:79)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_contraction_ttgt;
+      prop_random_contraction_full_pipeline;
+      prop_random_chain_reorder;
+      prop_random_tiling;
+      prop_map_compose_eval;
+      prop_inverse_permutation;
+      prop_random_programs_roundtrip;
+    ]

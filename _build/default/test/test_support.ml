@@ -1,0 +1,90 @@
+(* Tests for the support utilities and small IR helpers. *)
+
+let test_loc () =
+  let l = Support.Loc.make ~file:"x.c" ~line:3 ~col:7 in
+  Alcotest.(check string) "render" "x.c:3:7" (Support.Loc.to_string l);
+  Alcotest.(check string) "unknown" "<unknown>"
+    (Support.Loc.to_string Support.Loc.unknown)
+
+let test_diag () =
+  (match Support.Diag.wrap (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "ok passes through" 42 v
+  | Error _ -> Alcotest.fail "unexpected error");
+  (match
+     Support.Diag.wrap (fun () -> Support.Diag.errorf "bad %s %d" "thing" 7)
+   with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg -> Alcotest.(check string) "formatted" "bad thing 7" msg);
+  let loc = Support.Loc.make ~file:"f.tdl" ~line:1 ~col:2 in
+  match Support.Diag.wrap (fun () -> Support.Diag.error ~loc "oops") with
+  | Error msg -> Alcotest.(check string) "located" "f.tdl:1:2: oops" msg
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_id_gen () =
+  let g = Support.Id_gen.create () in
+  let a = Support.Id_gen.next g in
+  let b = Support.Id_gen.next g in
+  let c = Support.Id_gen.next g in
+  Alcotest.(check (list int)) "monotonic" [ 0; 1; 2 ] [ a; b; c ]
+
+let test_typ_helpers () =
+  let t = Ir.Typ.memref [ 2; 3; 4 ] Ir.Typ.F32 in
+  Alcotest.(check int) "rank" 3 (Ir.Typ.memref_rank t);
+  Alcotest.(check (option (list int))) "shape" (Some [ 2; 3; 4 ])
+    (Ir.Typ.static_shape t);
+  Alcotest.(check (option int)) "elements" (Some 24) (Ir.Typ.num_elements t);
+  Alcotest.(check string) "render" "memref<2x3x4xf32>" (Ir.Typ.to_string t);
+  let dyn = Ir.Typ.Mem_ref ([ Ir.Typ.Dynamic; Ir.Typ.Static 4 ], Ir.Typ.F32) in
+  Alcotest.(check (option (list int))) "dynamic shape" None
+    (Ir.Typ.static_shape dyn);
+  Alcotest.(check string) "dynamic render" "memref<?x4xf32>"
+    (Ir.Typ.to_string dyn);
+  Alcotest.(check bool) "scalar" true (Ir.Typ.is_scalar Ir.Typ.Index);
+  Alcotest.(check bool) "not scalar" false (Ir.Typ.is_scalar t)
+
+let test_attr_accessors () =
+  Alcotest.(check int) "int" 5 (Ir.Attr.get_int (Ir.Attr.Int 5));
+  Alcotest.(check (list int)) "ints" [ 1; 2 ]
+    (Ir.Attr.get_ints (Ir.Attr.Ints [ 1; 2 ]));
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Attr: expected int, got \"x\"") (fun () ->
+      ignore (Ir.Attr.get_int (Ir.Attr.Str "x")));
+  let g = Ir.Attr.Grouping [ [ 0; 1 ]; [ 2 ] ] in
+  Alcotest.(check string) "grouping render" "{{0, 1}, 2}" (Ir.Attr.to_string g);
+  Alcotest.(check bool) "equal" true
+    (Ir.Attr.equal g (Ir.Attr.Grouping [ [ 0; 1 ]; [ 2 ] ]));
+  Alcotest.(check bool) "not equal" false (Ir.Attr.equal g (Ir.Attr.Int 3))
+
+let test_contraction_spec_errors () =
+  let expect_fail s =
+    match Support.Diag.wrap (fun () -> Workloads.Contraction_spec.parse s) with
+    | Ok _ -> Alcotest.failf "expected rejection of %S" s
+    | Error _ -> ()
+  in
+  expect_fail "ab-cd";
+  expect_fail "aab-ab-b";
+  expect_fail "abz-ab-b";
+  expect_fail "ab--b";
+  let t = Workloads.Contraction_spec.parse "abc-acd-db" in
+  Alcotest.(check (list char)) "contracted" [ 'd' ]
+    (Workloads.Contraction_spec.contracted t);
+  Alcotest.(check (list char)) "free1" [ 'a'; 'c' ]
+    (Workloads.Contraction_spec.free1 t);
+  Alcotest.(check (list char)) "free2" [ 'b' ]
+    (Workloads.Contraction_spec.free2 t);
+  Alcotest.(check string) "roundtrip" "abc-acd-db"
+    (Workloads.Contraction_spec.to_string t);
+  Alcotest.(check (float 0.)) "flops"
+    (2. *. 3. *. 4. *. 5. *. 6.)
+    (Workloads.Contraction_spec.flops t
+       ~sizes:[ ('a', 3); ('b', 4); ('c', 5); ('d', 6) ])
+
+let suite =
+  [
+    Alcotest.test_case "locations" `Quick test_loc;
+    Alcotest.test_case "diagnostics" `Quick test_diag;
+    Alcotest.test_case "id generation" `Quick test_id_gen;
+    Alcotest.test_case "type helpers" `Quick test_typ_helpers;
+    Alcotest.test_case "attribute accessors" `Quick test_attr_accessors;
+    Alcotest.test_case "contraction specs" `Quick test_contraction_spec_errors;
+  ]
