@@ -168,7 +168,16 @@ let overhead () =
      orders of\nmagnitude more lowering work than this reproduction's \
      affine->SCF step.\nThe paper's actual claim — declarative matching is \
      near-free, unlike\nIDL's +82%% constraint solving — is visible in the \
-     absolute matching cost.\n"
+     absolute matching cost.\n";
+  (* Per-pass attribution of the with-MLT pipeline: one instrumented run
+     over all kernels, aggregated by pass. *)
+  let pm = Pass.create_manager () in
+  ignore (P.compile_time ~pm `With_mlt sources);
+  Printf.printf
+    "\nper-pass breakdown (with-mlt, 1 run over %d kernels):\n"
+    (List.length sources);
+  print_string (Pass.summary_table pm);
+  Printf.printf "pass-stats: %s\n" (Pass.summary_json pm)
 
 (* ---------------- Micro benchmarks (bechamel) ---------------------------- *)
 

@@ -36,7 +36,7 @@ let list_ops () =
 let run input list_ops_flag force_c tactics_file dump_tds delinearize
     raise_scf canonicalize raise_affine raise_linalg reorder_chains to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
-    output =
+    timing pass_stats print_ir_after_all print_ir_after output =
   if list_ops_flag then (
     list_ops ();
     Ok ())
@@ -59,45 +59,26 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
             List.iter
               (fun tds -> print_string (Tdl.Tds.to_string tds))
               (Tdl.Frontend.lower_source ~file:path tdl_src);
-          Some (Tdl.Backend.compile_tdl tdl_src)
+          Some (Mlt.Tactics.fill_pattern () :: Tdl.Backend.compile_tdl tdl_src)
     in
-    let verify () = if verify_each then Ir.Verifier.verify m in
-    if raise_scf then (
-      ignore (T.Raise_scf.run m);
-      verify ());
-    if delinearize then (
-      Ir.Core.walk m (fun op ->
-          if Ir.Core.is_func op then ignore (T.Delinearize.run op));
-      verify ());
-    if canonicalize then (
-      ignore (T.Canonicalize.run m);
-      verify ());
-    if raise_affine then (
-      ignore (Mlt.Tactics.raise_to_affine_matmul m);
-      verify ());
-    if raise_linalg then (
-      let pats =
-        match tactic_patterns with
-        | Some pats -> Mlt.Tactics.fill_pattern () :: pats
-        | None -> Mlt.Tactics.all ()
-      in
-      ignore (Ir.Rewriter.apply_greedily m pats);
-      verify ());
-    if reorder_chains then (
-      Ir.Core.walk m (fun op ->
-          if Ir.Core.is_func op then ignore (Mlt.Raise_chain.reorder op));
-      verify ());
-    if to_blas then (
-      ignore (Mlt.To_blas.run m);
-      verify ());
+    let snapshot =
+      if print_ir_after_all then Ir.Pass.After_all
+      else if print_ir_after <> [] then Ir.Pass.After_named print_ir_after
+      else Ir.Pass.No_snapshots
+    in
+    let pm = Ir.Pass.create_manager ~verify_each ~snapshot () in
+    let padd cond pass = if cond then Ir.Pass.add pm pass in
+    padd raise_scf T.Raise_scf.pass;
+    padd delinearize T.Delinearize.pass;
+    padd canonicalize T.Canonicalize.pass;
+    padd raise_affine (Mlt.Tactics.raise_to_affine_matmul_pass ());
+    padd raise_linalg
+      (Mlt.Tactics.raise_to_linalg_pass ?patterns:tactic_patterns ());
+    padd reorder_chains Mlt.Raise_chain.pass;
+    padd to_blas Mlt.To_blas.pass;
     (match lower_linalg_tiled with
-    | Some size ->
-        T.Lower_linalg.run_tiled ~size m;
-        verify ()
-    | None ->
-        if lower_linalg then (
-          T.Lower_linalg.run m;
-          verify ()));
+    | Some size -> Ir.Pass.add pm (T.Lower_linalg.tiled_pass ~size)
+    | None -> padd lower_linalg T.Lower_linalg.pass);
     (match fuse with
     | Some h ->
         let heuristic =
@@ -107,26 +88,22 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
           | "maxfuse" -> T.Loop_fuse.Max_fuse
           | other -> Support.Diag.errorf "unknown fusion heuristic %S" other
         in
-        ignore (T.Loop_fuse.run heuristic m);
-        verify ()
+        Ir.Pass.add pm (T.Loop_fuse.pass heuristic)
     | None -> ());
     (match tile with
-    | Some size ->
-        T.Loop_tile.tile_all m ~size;
-        verify ()
+    | Some size -> Ir.Pass.add pm (T.Loop_tile.pass ~size)
     | None -> ());
-    if lower_affine then (
-      T.Lower_affine.run m;
-      verify ());
-    if dce then (
-      ignore (T.Dce.run m);
-      verify ());
+    padd lower_affine T.Lower_affine.pass;
+    padd dce T.Dce.pass;
+    Ir.Pass.run pm m;
     Ir.Verifier.verify m;
     let text = Ir.Printer.op_to_string m ^ "\n" in
     (match output with
     | None -> print_string text
     | Some path -> Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc text));
+    if timing then print_string (Ir.Pass.report_table pm);
+    if pass_stats then print_endline (Ir.Pass.report_json pm);
     Ok ()
   with
   | Support.Diag.Error (loc, msg) ->
@@ -179,6 +156,16 @@ let cmd =
     $ flag [ "lower-affine" ] "Lower the affine dialect to SCF + memref."
     $ flag [ "dce" ] "Dead-code (and dead-buffer) elimination."
     $ flag [ "verify-each" ] "Verify the IR after every pass."
+    $ flag [ "timing" ]
+        "Print a per-pass table: seconds, op counts before/after, and \
+         pattern match/rewrite counters."
+    $ flag [ "pass-stats" ]
+        "Print the per-pass statistics as one JSON object (schema in \
+         docs/OBSERVABILITY.md)."
+    $ flag [ "print-ir-after-all" ] "Print the IR after every pass."
+    $ Arg.(value & opt_all string []
+           & info [ "print-ir-after" ] ~docv:"PASS"
+               ~doc:"Print the IR after the named pass (repeatable).")
     $ Arg.(value & opt (some string) None
            & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output here.")
   in

@@ -20,14 +20,17 @@ let machines =
     (fun (m : Machine.Machine_model.t) -> (m.name, m))
     Machine.Machine_model.platforms
 
-let run input config machine flops =
+let run input config machine flops timing pass_stats =
   try
     let src =
       match input with
       | "-" -> In_channel.input_all In_channel.stdin
       | path -> In_channel.with_open_text path In_channel.input_all
     in
-    let report = Mlt.Pipeline.time config machine src in
+    let pm =
+      if timing || pass_stats then Some (Ir.Pass.create_manager ()) else None
+    in
+    let report = Mlt.Pipeline.time ?pm config machine src in
     Printf.printf "machine:          %s\n" machine.Machine.Machine_model.name;
     Printf.printf "config:           %s\n" (Mlt.Pipeline.config_name config);
     Printf.printf "simulated time:   %.6f s\n" report.Machine.Perf.seconds;
@@ -38,6 +41,13 @@ let run input config machine flops =
     | Some f ->
         Printf.printf "GFLOPS:           %.2f\n"
           (Machine.Perf.gflops ~flops:f report)
+    | None -> ());
+    (match pm with
+    | Some pm ->
+        if timing then (
+          Printf.printf "\ncompilation pipeline (wall-clock):\n";
+          print_string (Ir.Pass.report_table pm));
+        if pass_stats then print_endline (Ir.Pass.report_json pm)
     | None -> ());
     Ok ()
   with
@@ -61,7 +71,15 @@ let cmd =
                  ~doc:"intel-i9-9900k or amd-2920x.")
       $ Arg.(value & opt (some float) None
              & info [ "flops" ] ~docv:"N"
-                 ~doc:"Mathematical flop count, to report GFLOPS."))
+                 ~doc:"Mathematical flop count, to report GFLOPS.")
+      $ Arg.(value & flag
+             & info [ "timing" ]
+                 ~doc:"Print a per-pass table for the compilation pipeline \
+                       (wall-clock, op counts, match/rewrite counters).")
+      $ Arg.(value & flag
+             & info [ "pass-stats" ]
+                 ~doc:"Print the per-pass statistics as one JSON object \
+                       (schema in docs/OBSERVABILITY.md)."))
   in
   Cmd.v
     (Cmd.info "mlt-sim" ~version:"1.0"

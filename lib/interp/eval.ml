@@ -35,6 +35,8 @@ let as_buf env v =
 let eval_bound env ~minimize ((map, args) : A.bound) =
   let dims = Array.of_list (List.map (as_int env) args) in
   let results = Affine_map.eval map ~dims () in
+  if Array.length results = 0 then
+    fail "interp: affine loop bound map has no results";
   Array.fold_left
     (if minimize then min else max)
     results.(0)
@@ -98,6 +100,7 @@ and exec_op env (op : Core.op) =
       let lb = eval_bound env ~minimize:false (A.for_lb op) in
       let ub = eval_bound env ~minimize:true (A.for_ub op) in
       let step = A.for_step op in
+      if step <= 0 then fail "interp: affine.for with non-positive step";
       let body = Core.single_block op 0 in
       let iv = body.b_args.(0) in
       let i = ref lb in

@@ -2,37 +2,237 @@ type t = { name : string; run : Core.op -> unit }
 
 let make ~name run = { name; run }
 
-type timing = { pass_name : string; seconds : float }
-
-type manager = {
-  mutable passes : t list;
-  mutable recorded : timing list;  (** reverse order *)
-  verify_each : bool;
+type timing = {
+  pass_name : string;
+  seconds : float;
+  ops_before : int;
+  ops_after : int;
+  match_attempts : int;
+  rewrites : int;
+  depth : int;
 }
 
-let create_manager ?(verify_each = false) () =
-  { passes = []; recorded = []; verify_each }
+type snapshot_policy = No_snapshots | After_all | After_named of string list
 
-let add m p = m.passes <- m.passes @ [ p ]
+type item = Single of t | Nested of string * item list
+
+type manager = {
+  mutable items_rev : item list;  (** reverse order *)
+  mutable recorded : timing list;  (** reverse order *)
+  verify_each : bool;
+  snapshot : snapshot_policy;
+  ir_sink : pass_name:string -> ir:string -> unit;
+}
+
+let default_ir_sink ~pass_name ~ir =
+  Printf.printf "// ----- IR after pass '%s' -----\n%s\n" pass_name ir
+
+let create_manager ?(verify_each = false) ?(snapshot = No_snapshots)
+    ?(ir_sink = default_ir_sink) () =
+  { items_rev = []; recorded = []; verify_each; snapshot; ir_sink }
+
+let add m p = m.items_rev <- Single p :: m.items_rev
 let add_all m ps = List.iter (add m) ps
 
-let run m root =
-  List.iter
-    (fun p ->
-      let t0 = Unix.gettimeofday () in
-      p.run root;
-      let dt = Unix.gettimeofday () -. t0 in
-      m.recorded <- { pass_name = p.name; seconds = dt } :: m.recorded;
-      if m.verify_each then
+let add_pipeline m name ps =
+  m.items_rev <- Nested (name, List.map (fun p -> Single p) ps) :: m.items_rev
+
+let count_ops root =
+  let n = ref 0 in
+  Core.walk root (fun _ -> incr n);
+  !n
+
+let wants_snapshot m name =
+  match m.snapshot with
+  | No_snapshots -> false
+  | After_all -> true
+  | After_named names -> List.mem name names
+
+(* Timing is recorded in a [Fun.protect] finalizer so that a pass raising
+   mid-run still contributes its (partial) entry to the report. *)
+let timed m ~name ~depth root body =
+  let ops_before = count_ops root in
+  let attempts0, rewrites0 = Rewriter.counter_totals () in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let seconds = Unix.gettimeofday () -. t0 in
+      let attempts1, rewrites1 = Rewriter.counter_totals () in
+      m.recorded <-
+        {
+          pass_name = name;
+          seconds;
+          ops_before;
+          ops_after = count_ops root;
+          match_attempts = attempts1 - attempts0;
+          rewrites = rewrites1 - rewrites0;
+          depth;
+        }
+        :: m.recorded)
+    body
+
+let rec run_item m ~depth ~prefix root = function
+  | Single p ->
+      let qualified = prefix ^ p.name in
+      timed m ~name:qualified ~depth root (fun () -> p.run root);
+      if wants_snapshot m p.name then
+        m.ir_sink ~pass_name:qualified ~ir:(Printer.op_to_string root);
+      if m.verify_each then (
         match Verifier.verify_result root with
         | Ok () -> ()
         | Error msg ->
-            Support.Diag.errorf "after pass '%s': %s" p.name msg)
-    m.passes
+            Support.Diag.errorf "after pass '%s': %s" qualified msg)
+  | Nested (name, items) ->
+      let qualified = prefix ^ name in
+      timed m ~name:qualified ~depth root (fun () ->
+          List.iter
+            (run_item m ~depth:(depth + 1) ~prefix:(qualified ^ "/") root)
+            items)
+
+let run m root =
+  List.iter (run_item m ~depth:0 ~prefix:"" root) (List.rev m.items_rev)
 
 let timings m = List.rev m.recorded
 
 let total_seconds m =
-  List.fold_left (fun acc t -> acc +. t.seconds) 0. (timings m)
+  (* Nested entries are already contained in their pipeline's aggregate
+     entry; summing depth-0 entries avoids double counting. *)
+  List.fold_left
+    (fun acc t -> if t.depth = 0 then acc +. t.seconds else acc)
+    0. (timings m)
 
 let clear_timings m = m.recorded <- []
+
+(* ---- aggregation ------------------------------------------------------- *)
+
+type summary = {
+  s_name : string;
+  s_runs : int;
+  s_seconds : float;
+  s_match_attempts : int;
+  s_rewrites : int;
+  s_ops_delta : int;
+}
+
+let summarize m =
+  (* Aggregate by qualified name, keeping first-appearance order. *)
+  let fold acc (t : timing) =
+    let bump s =
+      {
+        s with
+        s_runs = s.s_runs + 1;
+        s_seconds = s.s_seconds +. t.seconds;
+        s_match_attempts = s.s_match_attempts + t.match_attempts;
+        s_rewrites = s.s_rewrites + t.rewrites;
+        s_ops_delta = s.s_ops_delta + t.ops_after - t.ops_before;
+      }
+    in
+    let rec go = function
+      | [] ->
+          [
+            bump
+              {
+                s_name = t.pass_name;
+                s_runs = 0;
+                s_seconds = 0.;
+                s_match_attempts = 0;
+                s_rewrites = 0;
+                s_ops_delta = 0;
+              };
+          ]
+      | s :: rest when String.equal s.s_name t.pass_name -> bump s :: rest
+      | s :: rest -> s :: go rest
+    in
+    go acc
+  in
+  List.fold_left fold [] (timings m)
+
+(* ---- reports ----------------------------------------------------------- *)
+
+let report_table m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %12s %8s %8s %9s %9s\n" "pass" "seconds"
+       "ops-in" "ops-out" "matches" "rewrites");
+  List.iter
+    (fun t ->
+      let indent = String.make (2 * t.depth) ' ' in
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %12.6f %8d %8d %9d %9d\n"
+           (indent ^ t.pass_name) t.seconds t.ops_before t.ops_after
+           t.match_attempts t.rewrites))
+    (timings m);
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %12.6f\n" "total" (total_seconds m));
+  Buffer.contents buf
+
+let summary_table m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %6s %12s %9s %9s %9s\n" "pass" "runs" "seconds"
+       "matches" "rewrites" "ops-delta");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %6d %12.6f %9d %9d %+9d\n" s.s_name s.s_runs
+           s.s_seconds s.s_match_attempts s.s_rewrites s.s_ops_delta))
+    (summarize m);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_fields fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ v) fields)
+  ^ "}"
+
+let json_array items = "[" ^ String.concat "," items ^ "]"
+
+let timing_json (t : timing) =
+  json_of_fields
+    [
+      ("name", "\"" ^ json_escape t.pass_name ^ "\"");
+      ("seconds", Printf.sprintf "%.9f" t.seconds);
+      ("ops_before", string_of_int t.ops_before);
+      ("ops_after", string_of_int t.ops_after);
+      ("match_attempts", string_of_int t.match_attempts);
+      ("rewrites", string_of_int t.rewrites);
+      ("depth", string_of_int t.depth);
+    ]
+
+let report_json m =
+  json_of_fields
+    [
+      ("total_seconds", Printf.sprintf "%.9f" (total_seconds m));
+      ("passes", json_array (List.map timing_json (timings m)));
+    ]
+
+let summary_json m =
+  let entry s =
+    json_of_fields
+      [
+        ("name", "\"" ^ json_escape s.s_name ^ "\"");
+        ("runs", string_of_int s.s_runs);
+        ("seconds", Printf.sprintf "%.9f" s.s_seconds);
+        ("match_attempts", string_of_int s.s_match_attempts);
+        ("rewrites", string_of_int s.s_rewrites);
+        ("ops_delta", string_of_int s.s_ops_delta);
+      ]
+  in
+  json_of_fields
+    [
+      ("total_seconds", Printf.sprintf "%.9f" (total_seconds m));
+      ("passes", json_array (List.map entry (summarize m)));
+    ]

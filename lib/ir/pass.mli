@@ -1,29 +1,106 @@
-(** Passes and a timing pass manager.
+(** Passes and an instrumented pass manager.
 
-    The pass manager records wall-clock time per pass; the §5.2 compile-time
-    overhead experiment reads these timings to compare pipelines with and
-    without the raising passes. *)
+    The manager records, per executed pass: wall-clock seconds, op counts
+    before/after, and the pattern-driver match/rewrite counters
+    ({!Rewriter.counter_totals}) attributed to that pass. The §5.2
+    compile-time overhead experiment reads the timings; the per-pass
+    statistics back the observability flags of [mlt-opt]/[mlt-sim]
+    ([--timing], [--pass-stats], [--print-ir-after-all]) described in
+    [docs/OBSERVABILITY.md]. *)
 
 type t = { name : string; run : Core.op -> unit }
 
 val make : name:string -> (Core.op -> unit) -> t
 
-type timing = { pass_name : string; seconds : float }
+type timing = {
+  pass_name : string;
+      (** Qualified with the enclosing pipeline path, e.g. ["opt/dce"]. *)
+  seconds : float;
+  ops_before : int;
+  ops_after : int;
+  match_attempts : int;
+      (** Pattern [p_apply] invocations during this pass. *)
+  rewrites : int;  (** Successful pattern applications during this pass. *)
+  depth : int;  (** Nesting depth: 0 for top-level passes. *)
+}
+
+(** Which passes trigger an IR snapshot to the manager's sink after they
+    run ([--print-ir-after-all] / [--print-ir-after=<name>]). [After_named]
+    matches the unqualified pass name. *)
+type snapshot_policy = No_snapshots | After_all | After_named of string list
 
 type manager
 
-val create_manager : ?verify_each:bool -> unit -> manager
+(** [create_manager ()] — [ir_sink] receives snapshots (default: print to
+    stdout with a [// ----- IR after pass ...] header). *)
+val create_manager :
+  ?verify_each:bool ->
+  ?snapshot:snapshot_policy ->
+  ?ir_sink:(pass_name:string -> ir:string -> unit) ->
+  unit ->
+  manager
 
 val add : manager -> t -> unit
 val add_all : manager -> t list -> unit
 
-(** [run m root] executes the pipeline in order; with [verify_each] the
-    verifier runs after every pass and failures name the culprit pass. *)
+(** [add_pipeline m name passes] registers a named nested pipeline: its
+    passes record with names qualified as ["name/pass"] at depth 1, and an
+    aggregate entry for the whole pipeline is recorded (after its
+    children) under ["name"] at depth 0. *)
+val add_pipeline : manager -> string -> t list -> unit
+
+(** [run m root] executes the registered items in order; with
+    [verify_each] the verifier runs after every pass and failures name the
+    culprit pass. A pass that raises still records its (partial) timing
+    entry before the exception propagates. Statistics accumulate across
+    multiple [run] calls (one {!timing} per pass per run); see
+    {!summarize}. *)
 val run : manager -> Core.op -> unit
 
 val timings : manager -> timing list
 
-(** Total seconds across all recorded pass executions. *)
+(** Total seconds across recorded top-level (depth-0) entries — nested
+    entries are already contained in their pipeline's aggregate. *)
 val total_seconds : manager -> float
 
 val clear_timings : manager -> unit
+
+(** [count_ops root] — number of ops in the tree rooted at [root]
+    (including [root]); the metric behind [ops_before]/[ops_after]. *)
+val count_ops : Core.op -> int
+
+(** {2 Aggregation}
+
+    When a manager is run repeatedly (e.g. one pipeline over many
+    kernels), [summarize] folds the per-run entries into one row per
+    qualified pass name, in first-appearance order. *)
+
+type summary = {
+  s_name : string;
+  s_runs : int;
+  s_seconds : float;
+  s_match_attempts : int;
+  s_rewrites : int;
+  s_ops_delta : int;  (** Sum of [ops_after - ops_before] over runs. *)
+}
+
+val summarize : manager -> summary list
+
+(** {2 Reports}
+
+    The JSON schema is documented in [docs/OBSERVABILITY.md]. *)
+
+(** Human-readable per-entry table (one row per pass per run, nested
+    passes indented by depth). *)
+val report_table : manager -> string
+
+(** Per-entry JSON:
+    [{"total_seconds":s,"passes":[{"name":...,"seconds":...,
+    "ops_before":...,"ops_after":...,"match_attempts":...,
+    "rewrites":...,"depth":...}, ...]}]. *)
+val report_json : manager -> string
+
+(** Aggregated variants of the two reports (one row per pass). *)
+val summary_table : manager -> string
+
+val summary_json : manager -> string

@@ -11,6 +11,18 @@ let pattern ~name ?(benefit = 1) apply =
 
 let max_iterations = 10_000
 
+(* Process-wide driver counters. The pass manager snapshots them around
+   each pass run to attribute match/rewrite work to individual passes. *)
+let total_match_attempts = ref 0
+let total_rewrites = ref 0
+let counter_totals () = (!total_match_attempts, !total_rewrites)
+
+let try_apply p ctx op =
+  incr total_match_attempts;
+  let applied = p.p_apply ctx op in
+  if applied then incr total_rewrites;
+  applied
+
 let apply_greedily root patterns =
   let patterns =
     List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
@@ -35,7 +47,7 @@ let apply_greedily root patterns =
                (fun p ->
                  if op.o_parent != None then
                    let ctx = { root; builder = Builder.before op } in
-                   if p.p_apply ctx op then (
+                   if try_apply p ctx op then (
                      incr applications;
                      raise Applied))
                patterns)
@@ -62,7 +74,7 @@ let apply_sweeps root patterns =
             (fun p ->
               if op.o_parent != None then
                 let ctx = { root; builder = Builder.before op } in
-                if p.p_apply ctx op then begin
+                if try_apply p ctx op then begin
                   incr applications;
                   progress := true
                 end)

@@ -35,6 +35,17 @@ val apply_greedily : Core.op -> pattern list -> int
     number of applications. *)
 val apply_sweeps : Core.op -> pattern list -> int
 
+(** {2 Driver statistics}
+
+    Process-wide monotonic counters over both drivers: how many times a
+    pattern's [p_apply] was invoked (match attempts) and how many of those
+    invocations rewrote the IR. {!Pass.run} snapshots them around each
+    pass to attribute the work to individual passes. *)
+
+(** [counter_totals ()] is [(match_attempts, rewrites)] since process
+    start. *)
+val counter_totals : unit -> int * int
+
 (** {2 Rewrite helpers} *)
 
 (** [replace_op ctx op values] replaces all uses of [op]'s results under

@@ -33,33 +33,41 @@ let translate src = Met.Emit_affine.translate src
 (* The Linalg default path primarily performs tiling (§5.2, footnote 2). *)
 let linalg_tile_size = 32
 
-let prepare_module config m =
-  let f = sole_func m in
-  (match config with
-  | Clang_O3 -> ()
-  | Pluto_default -> T.Pluto.apply T.Pluto.default_config f
+let passes_of_config config =
+  match config with
+  | Clang_O3 -> []
+  | Pluto_default -> [ T.Pluto.pass T.Pluto.default_config ]
   | Pluto_best ->
       (* Resolved at timing (needs the machine model); structural prepare
          keeps the default. *)
-      T.Pluto.apply T.Pluto.default_config f
+      [ T.Pluto.pass T.Pluto.default_config ]
   | Mlt_linalg ->
-      ignore (T.Canonicalize.run f);
-      ignore (Tactics.raise_to_linalg f);
-      T.Lower_linalg.run_tiled ~size:linalg_tile_size f
+      [
+        T.Canonicalize.pass;
+        Tactics.raise_to_linalg_pass ();
+        T.Lower_linalg.tiled_pass ~size:linalg_tile_size;
+      ]
   | Mlt_blas ->
-      ignore (T.Canonicalize.run f);
-      ignore (Tactics.raise_to_linalg f);
-      ignore (Raise_chain.reorder f);
-      ignore (To_blas.run f);
-      (* Leftover fills have no library call; lower them to loops. *)
-      T.Lower_linalg.run f
+      [
+        T.Canonicalize.pass;
+        Tactics.raise_to_linalg_pass ();
+        Raise_chain.pass;
+        To_blas.pass;
+        (* Leftover fills have no library call; lower them to loops. *)
+        T.Lower_linalg.pass;
+      ]
   | Mlt_affine_blis ->
-      ignore (T.Canonicalize.run f);
-      ignore (Tactics.raise_to_affine_matmul f));
+      [ T.Canonicalize.pass; Tactics.raise_to_affine_matmul_pass () ]
+
+let prepare_module ?pm config m =
+  let f = sole_func m in
+  let mgr = match pm with Some pm -> pm | None -> Pass.create_manager () in
+  Pass.add_all mgr (passes_of_config config);
+  Pass.run mgr f;
   Verifier.verify m;
   m
 
-let prepare config src = prepare_module config (translate src)
+let prepare ?pm config src = prepare_module ?pm config (translate src)
 
 let max_trip_count f =
   List.fold_left
@@ -70,7 +78,7 @@ let max_trip_count f =
     1
     (Affine.Loops.all_loops f)
 
-let time config machine src =
+let time ?pm config machine src =
   match config with
   | Pluto_best ->
       (* Score every sweep configuration on the machine model and keep
@@ -94,34 +102,53 @@ let time config machine src =
           None candidates
       in
       (match best with
-      | Some (_, report) -> report
+      | Some (cfg, report) ->
+          (* The sweep itself runs uninstrumented; replay the winning
+             configuration through the manager so the recorded stats
+             describe the pipeline [time] effectively selected. *)
+          (match pm with
+          | Some mgr ->
+              let m = translate src in
+              Pass.add mgr (T.Pluto.pass cfg);
+              Pass.run mgr (sole_func m)
+          | None -> ());
+          report
       | None -> Support.Diag.errorf "pipeline: empty pluto sweep")
   | _ ->
-      let m = prepare config src in
+      let m = prepare ?pm config src in
       M.Perf.time_func machine (sole_func m)
 
 let gflops config machine src ~flops =
   let report = time config machine src in
   M.Perf.gflops ~flops report
 
-let compile_time mode sources =
+let compile_passes mode =
+  match mode with
+  | `Match_only ->
+      (* Canonicalize first so matching is measured on the same IR the
+         [`With_mlt] raising pass sees. *)
+      [ T.Canonicalize.pass; Tactics.raise_to_linalg_pass () ]
+  | `Baseline -> [ T.Lower_affine.pass ]
+  | `With_mlt ->
+      [
+        T.Canonicalize.pass;
+        Tactics.raise_to_linalg_pass ();
+        T.Lower_linalg.pass;
+        (* Common progressive lowering to the SCF level. *)
+        T.Lower_affine.pass;
+      ]
+
+let compile_time ?pm mode sources =
+  let mgr = match pm with Some pm -> pm | None -> Pass.create_manager () in
+  Pass.add_all mgr (compile_passes mode);
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun src ->
       let m = translate src in
-      let f = sole_func m in
+      Pass.run mgr (sole_func m);
       match mode with
-      | `Match_only -> ignore (Tactics.raise_to_linalg f)
-      | `Baseline ->
-          T.Lower_affine.run f;
-          Verifier.verify m
-      | `With_mlt ->
-          ignore (T.Canonicalize.run f);
-          ignore (Tactics.raise_to_linalg f);
-          T.Lower_linalg.run f;
-          (* Common progressive lowering to the SCF level. *)
-          T.Lower_affine.run f;
-          Verifier.verify m)
+      | `Match_only -> ()
+      | `Baseline | `With_mlt -> Verifier.verify m)
     sources;
   Unix.gettimeofday () -. t0
 

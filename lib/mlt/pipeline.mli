@@ -29,14 +29,33 @@ val config_name : config -> string
 
 val all_figure9_configs : config list
 
+(** The configuration's transformation pipeline, as pass-manager passes
+    in application order (empty for [Clang_O3]). Pattern-backed passes
+    compile their tactic sets once, at list construction. *)
+val passes_of_config : config -> Pass.t list
+
 (** [prepare config src] — parse, distribute, apply the configuration's
     transformations; returns the module (one function). The result always
-    verifies. *)
-val prepare : config -> string -> Core.op
+    verifies. With [pm] the passes register into (and record statistics
+    in) the caller's manager — pass a fresh manager per invocation, since
+    registration accumulates. *)
+val prepare : ?pm:Pass.manager -> config -> string -> Core.op
+
+(** [prepare_module config m] — {!prepare} starting from an already
+    translated module. *)
+val prepare_module : ?pm:Pass.manager -> config -> Core.op -> Core.op
 
 (** [time config machine src] — simulated seconds and report for the
-    single kernel in [src]. *)
-val time : config -> Machine.Machine_model.t -> string -> Machine.Perf.report
+    single kernel in [src]. With [pm], the preparation pipeline records
+    per-pass statistics into the caller's (fresh) manager; for
+    [Pluto_best] the sweep runs uninstrumented and the winning
+    configuration is replayed through [pm]. *)
+val time :
+  ?pm:Pass.manager ->
+  config ->
+  Machine.Machine_model.t ->
+  string ->
+  Machine.Perf.report
 
 (** [gflops config machine src ~flops] *)
 val gflops :
@@ -46,9 +65,22 @@ val gflops :
 
     Wall-clock seconds to run the full lowering pipeline over the given
     sources, without ([`Baseline]) and with ([`With_mlt]) the raising
-    passes; [`Match_only] runs just the tactic matching (the idiom
-    discovery the paper contrasts with IDL's constraint solving). *)
-val compile_time : [ `Baseline | `With_mlt | `Match_only ] -> string list -> float
+    passes; [`Match_only] runs canonicalization plus the tactic matching
+    (the idiom discovery the paper contrasts with IDL's constraint
+    solving) — the same prefix [`With_mlt] executes, so the overhead
+    comparison measures matching on identical IR. Tactic-set compilation
+    happens at pass registration, outside the timed region, in every
+    mode. With [pm] (fresh manager), per-pass statistics accumulate
+    across all sources; read them with {!Pass.summarize}. *)
+val compile_time :
+  ?pm:Pass.manager ->
+  [ `Baseline | `With_mlt | `Match_only ] ->
+  string list ->
+  float
+
+(** The pass list a {!compile_time} mode runs per source. *)
+val compile_passes :
+  [ `Baseline | `With_mlt | `Match_only ] -> Pass.t list
 
 (** {2 Figure 8: callsite detection} *)
 

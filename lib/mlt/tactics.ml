@@ -91,3 +91,12 @@ let raise_to_affine_matmul root =
       Tdl.Frontend.gemm_tdl
   in
   Rewriter.apply_greedily root pats
+
+let raise_to_linalg_pass ?patterns () =
+  let pats = match patterns with Some ps -> ps | None -> all () in
+  Pass.make ~name:"raise-affine-to-linalg" (fun root ->
+      ignore (Rewriter.apply_greedily root pats))
+
+let raise_to_affine_matmul_pass () =
+  Pass.make ~name:"raise-affine-to-affine" (fun root ->
+      ignore (raise_to_affine_matmul root))

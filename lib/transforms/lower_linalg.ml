@@ -253,6 +253,9 @@ let run_tiled ~size root =
 
 let pass = Pass.make ~name:"lower-linalg-to-affine" run
 
+let tiled_pass ~size =
+  Pass.make ~name:"lower-linalg-tiled" (run_tiled ~size)
+
 let lower_affine_matmul_naive root =
   let pat =
     Rewriter.pattern ~name:"lower-affine-matmul" (fun ctx op ->

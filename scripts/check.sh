@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 gate: everything must build and every test must pass.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

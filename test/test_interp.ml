@@ -149,6 +149,34 @@ let test_interp_distribution_preserves_semantics () =
         Alcotest.failf "%s: distribution changed semantics" name)
     (W.tiny_suite ())
 
+let test_interp_affine_for_step_guard () =
+  (* A non-positive step must raise instead of looping forever. *)
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  let f = Option.get (Ir.Core.find_func m "mm") in
+  let loop = List.hd (Affine.Loops.all_loops f) in
+  Ir.Core.set_attr loop "step" (Ir.Attr.Int 0);
+  try
+    ignore (Interp.Eval.run_on_random m "mm" ~seed:13);
+    Alcotest.fail "expected a step error"
+  with Interp.Eval.Runtime_error msg ->
+    Alcotest.(check bool) "mentions the step" true
+      (Astring_contains.contains msg "step")
+
+let test_interp_affine_bound_no_results () =
+  (* An affine bound map with zero results must fail cleanly (it used to
+     crash on results.(0) with Invalid_argument). *)
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  let f = Option.get (Ir.Core.find_func m "mm") in
+  let loop = List.hd (Affine.Loops.all_loops f) in
+  Ir.Core.set_attr loop "lower_bound"
+    (Ir.Attr.Map (Ir.Affine_map.make ~n_dims:0 []));
+  try
+    ignore (Interp.Eval.run_on_random m "mm" ~seed:13);
+    Alcotest.fail "expected a bound-map error"
+  with Interp.Eval.Runtime_error msg ->
+    Alcotest.(check bool) "mentions the bound map" true
+      (Astring_contains.contains msg "bound map")
+
 let test_interp_errors () =
   let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
   (* Wrong arity *)
@@ -184,4 +212,8 @@ let suite =
     Alcotest.test_case "distribution preserves semantics (all kernels)"
       `Quick test_interp_distribution_preserves_semantics;
     Alcotest.test_case "interp argument errors" `Quick test_interp_errors;
+    Alcotest.test_case "affine.for rejects non-positive step" `Quick
+      test_interp_affine_for_step_guard;
+    Alcotest.test_case "affine bound map with no results fails cleanly"
+      `Quick test_interp_affine_bound_no_results;
   ]

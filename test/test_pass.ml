@@ -72,6 +72,131 @@ let test_full_pipeline_as_passes () =
   Alcotest.(check bool) "equivalent after 7-pass pipeline" true
     (Interp.Eval.equivalent reference m "gemm" ~seed:83)
 
+let test_failing_pass_keeps_timing () =
+  (* A pass raising mid-run must still contribute its timing entry. *)
+  let pm = Pass.create_manager () in
+  Pass.add_all pm
+    [
+      Pass.make ~name:"ok" (fun _ -> ());
+      Pass.make ~name:"boom" (fun _ -> Support.Diag.errorf "kaboom");
+      Pass.make ~name:"never" (fun _ -> ());
+    ];
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  (match Support.Diag.wrap (fun () -> Pass.run pm m) with
+  | Ok () -> Alcotest.fail "expected the failing pass to raise"
+  | Error _ -> ());
+  Alcotest.(check (list string)) "partial report keeps the failing pass"
+    [ "ok"; "boom" ]
+    (List.map (fun t -> t.Pass.pass_name) (Pass.timings pm))
+
+let test_nested_pipeline_timing () =
+  let pm = Pass.create_manager () in
+  Pass.add pm Transforms.Canonicalize.pass;
+  Pass.add_pipeline pm "lowering"
+    [ Transforms.Lower_linalg.pass; Transforms.Lower_affine.pass ];
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  Pass.run pm m;
+  let ts = Pass.timings pm in
+  Alcotest.(check (list string)) "qualified names, aggregate after children"
+    [
+      "canonicalize";
+      "lowering/lower-linalg-to-affine";
+      "lowering/lower-affine-to-scf";
+      "lowering";
+    ]
+    (List.map (fun t -> t.Pass.pass_name) ts);
+  let depth name =
+    (List.find (fun t -> t.Pass.pass_name = name) ts).Pass.depth
+  in
+  Alcotest.(check int) "children at depth 1" 1
+    (depth "lowering/lower-affine-to-scf");
+  Alcotest.(check int) "aggregate at depth 0" 0 (depth "lowering");
+  let seconds name =
+    (List.find (fun t -> t.Pass.pass_name = name) ts).Pass.seconds
+  in
+  Alcotest.(check bool) "aggregate covers its children" true
+    (seconds "lowering"
+    >= seconds "lowering/lower-linalg-to-affine"
+       +. seconds "lowering/lower-affine-to-scf");
+  (* total sums only depth-0 entries: no double counting. *)
+  Alcotest.(check bool) "total excludes nested entries" true
+    (Pass.total_seconds pm
+    <= seconds "canonicalize" +. seconds "lowering" +. 1e-9)
+
+let test_mlt_linalg_pipeline_stats () =
+  (* The Mlt_linalg evaluation pipeline, instrumented end to end. *)
+  let pm = Pass.create_manager () in
+  let m = Met.Emit_affine.translate (W.mm ~ni:8 ~nj:8 ~nk:8 ()) in
+  ignore (Mlt.Pipeline.prepare_module ~pm Mlt.Pipeline.Mlt_linalg m);
+  let ts = Pass.timings pm in
+  Alcotest.(check (list string)) "pipeline passes"
+    [ "canonicalize"; "raise-affine-to-linalg"; "lower-linalg-tiled" ]
+    (List.map (fun t -> t.Pass.pass_name) ts);
+  let entry name = List.find (fun t -> t.Pass.pass_name = name) ts in
+  let raise_t = entry "raise-affine-to-linalg" in
+  Alcotest.(check bool) "raising rewrote at least one site" true
+    (raise_t.Pass.rewrites >= 1);
+  Alcotest.(check bool) "attempts >= rewrites" true
+    (raise_t.Pass.match_attempts >= raise_t.Pass.rewrites);
+  Alcotest.(check bool) "raising shrinks the op count" true
+    (raise_t.Pass.ops_after < raise_t.Pass.ops_before);
+  let lower_t = entry "lower-linalg-tiled" in
+  Alcotest.(check bool) "lowering re-expands the op count" true
+    (lower_t.Pass.ops_after > lower_t.Pass.ops_before)
+
+let test_ir_snapshots () =
+  let snaps = ref [] in
+  let pm =
+    Pass.create_manager ~snapshot:Pass.After_all
+      ~ir_sink:(fun ~pass_name ~ir -> snaps := (pass_name, ir) :: !snaps)
+      ()
+  in
+  let m = Met.Emit_affine.translate (W.mm ~ni:8 ~nj:8 ~nk:8 ()) in
+  ignore (Mlt.Pipeline.prepare_module ~pm Mlt.Pipeline.Mlt_linalg m);
+  let snaps = List.rev !snaps in
+  Alcotest.(check int) "one snapshot per pass" 3 (List.length snaps);
+  let after_raise = List.assoc "raise-affine-to-linalg" snaps in
+  Alcotest.(check bool) "snapshot shows the raised op" true
+    (Astring_contains.contains after_raise "linalg.matmul");
+  let after_lower = List.assoc "lower-linalg-tiled" snaps in
+  Alcotest.(check bool) "snapshot shows the lowered loops" true
+    (Astring_contains.contains after_lower "affine.for")
+
+let test_reports_and_summaries () =
+  let pm = Pass.create_manager () in
+  Pass.add_all pm
+    [ Transforms.Canonicalize.pass; Transforms.Dce.pass ];
+  let run_once () =
+    Pass.run pm (Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()))
+  in
+  run_once ();
+  run_once ();
+  let json = Pass.report_json pm in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %s" needle)
+        true
+        (Astring_contains.contains json needle))
+    [
+      "\"total_seconds\":"; "\"passes\":["; "\"name\":\"canonicalize\"";
+      "\"ops_before\":"; "\"ops_after\":"; "\"match_attempts\":";
+      "\"rewrites\":"; "\"depth\":0";
+    ];
+  let table = Pass.report_table pm in
+  Alcotest.(check bool) "table lists dce" true
+    (Astring_contains.contains table "dce");
+  (* Two runs aggregate into one row per pass. *)
+  let summaries = Pass.summarize pm in
+  Alcotest.(check (list string)) "summary order"
+    [ "canonicalize"; "dce" ]
+    (List.map (fun s -> s.Pass.s_name) summaries);
+  List.iter
+    (fun s -> Alcotest.(check int) "two runs each" 2 s.Pass.s_runs)
+    summaries;
+  Alcotest.(check bool) "summary json has runs" true
+    (Astring_contains.contains (Pass.summary_json pm) "\"runs\":2")
+
 let test_dialect_registry () =
   Std_dialect.Arith.register ();
   Std_dialect.Scf.register ();
@@ -104,5 +229,15 @@ let suite =
       test_manager_verify_each_catches_breakage;
     Alcotest.test_case "full pipeline through the manager" `Quick
       test_full_pipeline_as_passes;
+    Alcotest.test_case "failing pass keeps its timing entry" `Quick
+      test_failing_pass_keeps_timing;
+    Alcotest.test_case "nested pipeline timing" `Quick
+      test_nested_pipeline_timing;
+    Alcotest.test_case "mlt-linalg pipeline statistics" `Quick
+      test_mlt_linalg_pipeline_stats;
+    Alcotest.test_case "IR snapshots after each pass" `Quick
+      test_ir_snapshots;
+    Alcotest.test_case "JSON/table reports and aggregation" `Quick
+      test_reports_and_summaries;
     Alcotest.test_case "dialect registry" `Quick test_dialect_registry;
   ]
