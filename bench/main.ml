@@ -238,8 +238,13 @@ let micro () =
   in
   List.iter
     (fun t ->
+      (* --quick keeps this usable as a CI smoke test (scripts/check.sh):
+         the numbers are noisier but every benchmarked path still runs. *)
       let cfg =
-        Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+        if !quick then
+          Benchmark.cfg ~limit:200 ~quota:(Time.millisecond 50.) ()
+        else
+          Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
       in
       let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] t in
       let ols =

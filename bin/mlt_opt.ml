@@ -34,7 +34,8 @@ let list_ops () =
     (Ir.Dialect.registered_ops ())
 
 let run input list_ops_flag force_c tactics_file dump_tds delinearize
-    raise_scf canonicalize raise_affine raise_linalg reorder_chains to_blas
+    raise_scf canonicalize fast_math raise_affine raise_linalg reorder_chains
+    to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
     timing pass_stats print_ir_after_all print_ir_after output =
   if list_ops_flag then (
@@ -70,7 +71,8 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
     let padd cond pass = if cond then Ir.Pass.add pm pass in
     padd raise_scf T.Raise_scf.pass;
     padd delinearize T.Delinearize.pass;
-    padd canonicalize T.Canonicalize.pass;
+    padd canonicalize
+      (if fast_math then T.Canonicalize.fast_math_pass else T.Canonicalize.pass);
     padd raise_affine (Mlt.Tactics.raise_to_affine_matmul_pass ());
     padd raise_linalg
       (Mlt.Tactics.raise_to_linalg_pass ?patterns:tactic_patterns ());
@@ -136,6 +138,9 @@ let cmd =
     $ flag [ "raise-scf-to-affine" ]
         "Raise SCF loops and memref accesses back to the affine dialect."
     $ flag [ "canonicalize" ] "Run algebraic canonicalization."
+    $ flag [ "fast-math" ]
+        "Allow value-unsafe float folds in --canonicalize (x*0 -> 0, which \
+         is wrong for NaN/inf/-0.0). Off by default."
     $ flag [ "raise-affine-to-affine" ]
         "Raise GEMM loop nests to affine.matmul (sec. 5.1)."
     $ flag [ "raise-affine-to-linalg" ]

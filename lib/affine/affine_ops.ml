@@ -16,7 +16,7 @@ let verify_for (op : Core.op) =
   if Array.length body.b_args <> 1
      || not (Typ.equal body.b_args.(0).v_typ Typ.Index)
   then D.errorf "affine.for: body must carry a single index argument";
-  match List.rev body.b_ops with
+  match List.rev (Core.ops_of_block body) with
   | last :: _ when String.equal last.o_name "affine.yield" -> ()
   | _ -> D.errorf "affine.for: body must end with affine.yield"
 

@@ -3,6 +3,7 @@ type value = {
   mutable v_typ : Typ.t;
   mutable v_hint : string option;
   mutable v_def : vdef;
+  mutable v_uses : (op * int) list;
 }
 
 and vdef = Def_op of op * int | Def_block_arg of block * int
@@ -20,7 +21,8 @@ and op = {
 and block = {
   b_id : int;
   mutable b_args : value array;
-  mutable b_ops : op list;
+  mutable b_head : op list;
+  mutable b_tail_rev : op list;
   mutable b_parent : region option;
 }
 
@@ -28,6 +30,40 @@ and region = { r_id : int; mutable r_blocks : block list }
 
 let ids = Support.Id_gen.global
 let fresh () = Support.Id_gen.next ids
+
+(* ---- mutation listener -------------------------------------------------- *)
+
+type listener = {
+  on_op_inserted : op -> unit;
+  on_op_erased : op -> unit;
+  on_operand_update : op -> unit;
+}
+
+let the_listener : listener option ref = ref None
+
+let notify_inserted op =
+  match !the_listener with Some l -> l.on_op_inserted op | None -> ()
+
+let notify_erased op =
+  match !the_listener with Some l -> l.on_op_erased op | None -> ()
+
+let notify_operand_update op =
+  match !the_listener with Some l -> l.on_operand_update op | None -> ()
+
+let with_listener l f =
+  let saved = !the_listener in
+  the_listener := Some l;
+  Fun.protect ~finally:(fun () -> the_listener := saved) f
+
+(* ---- intrusive use lists ------------------------------------------------ *)
+
+let add_use v user index = v.v_uses <- (user, index) :: v.v_uses
+
+let remove_use v user index =
+  v.v_uses <-
+    List.filter (fun (o, i) -> not (o == user && i = index)) v.v_uses
+
+(* ---- construction ------------------------------------------------------- *)
 
 let create_op ?(operands = []) ?(result_types = []) ?(attrs = [])
     ?(regions = []) name =
@@ -42,17 +78,25 @@ let create_op ?(operands = []) ?(result_types = []) ?(attrs = [])
       o_parent = None;
     }
   in
+  Array.iteri (fun i v -> add_use v op i) op.o_operands;
   op.o_results <-
     Array.of_list
       (List.mapi
          (fun i t ->
-           { v_id = fresh (); v_typ = t; v_hint = None; v_def = Def_op (op, i) })
+           {
+             v_id = fresh ();
+             v_typ = t;
+             v_hint = None;
+             v_def = Def_op (op, i);
+             v_uses = [];
+           })
          result_types);
   op
 
 let create_block ?(hints = []) arg_types =
   let block =
-    { b_id = fresh (); b_args = [||]; b_ops = []; b_parent = None }
+    { b_id = fresh (); b_args = [||]; b_head = []; b_tail_rev = [];
+      b_parent = None }
   in
   block.b_args <-
     Array.of_list
@@ -64,6 +108,7 @@ let create_block ?(hints = []) arg_types =
              v_typ = t;
              v_hint = hint;
              v_def = Def_block_arg (block, i);
+             v_uses = [];
            })
          arg_types);
   block
@@ -104,8 +149,12 @@ let single_block op i =
 
 (* Map region -> enclosing op, rebuilt lazily. We avoid a region->op pointer
    to keep [create_op] non-cyclic over regions; lookups scan the block's
-   parent region against candidate ops via a registry keyed by region id. *)
+   parent region against candidate ops via a registry keyed by region id.
+   [erase_op] unregisters the erased subtree so the table stays bounded
+   across pipeline runs. *)
 let region_owner : (int, op) Hashtbl.t = Hashtbl.create 256
+
+let region_registry_size () = Hashtbl.length region_owner
 
 let register_regions op =
   Array.iter (fun r -> Hashtbl.replace region_owner r.r_id op) op.o_regions
@@ -118,15 +167,38 @@ let block_parent_op block =
 let parent_op op =
   match op.o_parent with None -> None | Some b -> block_parent_op b
 
+let rec is_under ~root op =
+  op == root
+  || match parent_op op with Some p -> is_under ~root p | None -> false
+
+(* ---- block op sequences ------------------------------------------------- *)
+
+(* A block's op sequence is [b_head @ List.rev b_tail_rev]: appends push onto
+   the reversed tail in O(1) (long straight-line blocks are built one op at a
+   time by the lowerings), and readers flush the tail into the head. *)
+
+let flush_block b =
+  match b.b_tail_rev with
+  | [] -> ()
+  | tail ->
+      b.b_head <- b.b_head @ List.rev tail;
+      b.b_tail_rev <- []
+
+let ops_of_block b =
+  flush_block b;
+  b.b_head
+
 let append_op block op =
   register_regions op;
   op.o_parent <- Some block;
-  block.b_ops <- block.b_ops @ [ op ]
+  block.b_tail_rev <- op :: block.b_tail_rev;
+  notify_inserted op
 
 let prepend_op block op =
   register_regions op;
   op.o_parent <- Some block;
-  block.b_ops <- op :: block.b_ops
+  block.b_head <- op :: block.b_head;
+  notify_inserted op
 
 let insert_relative ~before ~anchor op =
   match anchor.o_parent with
@@ -134,13 +206,15 @@ let insert_relative ~before ~anchor op =
   | Some block ->
       register_regions op;
       op.o_parent <- Some block;
+      flush_block block;
       let rec go = function
         | [] -> invalid_arg "Core.insert: anchor not found in its block"
         | o :: rest when o == anchor ->
             if before then op :: o :: rest else o :: op :: rest
         | o :: rest -> o :: go rest
       in
-      block.b_ops <- go block.b_ops
+      block.b_head <- go block.b_head;
+      notify_inserted op
 
 let insert_before ~anchor op = insert_relative ~before:true ~anchor op
 let insert_after ~anchor op = insert_relative ~before:false ~anchor op
@@ -149,22 +223,19 @@ let detach_op op =
   match op.o_parent with
   | None -> ()
   | Some block ->
-      block.b_ops <- List.filter (fun o -> not (o == op)) block.b_ops;
+      let not_op o = not (o == op) in
+      block.b_head <- List.filter not_op block.b_head;
+      block.b_tail_rev <- List.filter not_op block.b_tail_rev;
       op.o_parent <- None
 
-let erase_op op =
-  detach_op op;
-  op.o_operands <- [||]
-
-let defining_op v =
-  match v.v_def with Def_op (op, _) -> Some op | Def_block_arg _ -> None
+(* ---- traversal ---------------------------------------------------------- *)
 
 let rec walk root f =
   f root;
   Array.iter
     (fun r ->
       List.iter
-        (fun b -> List.iter (fun op -> walk op f) b.b_ops)
+        (fun b -> List.iter (fun op -> walk op f) (ops_of_block b))
         r.r_blocks)
     root.o_regions
 
@@ -172,7 +243,7 @@ let rec walk_post root f =
   Array.iter
     (fun r ->
       List.iter
-        (fun b -> List.iter (fun op -> walk_post op f) b.b_ops)
+        (fun b -> List.iter (fun op -> walk_post op f) (ops_of_block b))
         r.r_blocks)
     root.o_regions;
   f root
@@ -183,7 +254,7 @@ let rec walk_safe root f =
     (fun r ->
       List.iter
         (fun b ->
-          let snapshot = b.b_ops in
+          let snapshot = ops_of_block b in
           List.iter
             (fun op ->
               (* Skip ops detached by earlier callbacks in this sweep. *)
@@ -192,22 +263,57 @@ let rec walk_safe root f =
         r.r_blocks)
     root.o_regions
 
+(* ---- erasure ------------------------------------------------------------ *)
+
+let erase_op op =
+  notify_erased op;
+  detach_op op;
+  (* Structurally invalidate the whole subtree: drop its operand use-list
+     entries (so use counts of surviving values stay exact) and unregister
+     its regions (so the region registry does not grow across runs). *)
+  walk op (fun o ->
+      Array.iteri (fun i v -> remove_use v o i) o.o_operands;
+      o.o_operands <- [||];
+      Array.iter (fun r -> Hashtbl.remove region_owner r.r_id) o.o_regions)
+
+(* ---- use-def queries and mutation --------------------------------------- *)
+
+let defining_op v =
+  match v.v_def with Def_op (op, _) -> Some op | Def_block_arg _ -> None
+
 let uses root v =
-  let acc = ref [] in
-  walk root (fun op ->
-      Array.iteri
-        (fun i operand -> if operand == v then acc := (op, i) :: !acc)
-        op.o_operands);
-  List.rev !acc
+  List.rev (List.filter (fun (o, _) -> is_under ~root o) v.v_uses)
+
+let has_uses root v = List.exists (fun (o, _) -> is_under ~root o) v.v_uses
+
+let set_operand op i v =
+  let old = op.o_operands.(i) in
+  if not (old == v) then begin
+    remove_use old op i;
+    op.o_operands.(i) <- v;
+    add_use v op i;
+    notify_operand_update op
+  end
 
 let replace_uses root ~old_v ~new_v =
-  walk root (fun op ->
-      Array.iteri
-        (fun i operand ->
-          if operand == old_v then op.o_operands.(i) <- new_v)
-        op.o_operands)
+  if not (old_v == new_v) then
+    List.iter
+      (fun (o, i) -> if is_under ~root o then set_operand o i new_v)
+      old_v.v_uses
 
-let set_operand op i v = op.o_operands.(i) <- v
+let rec is_in_block ~block op =
+  match op.o_parent with
+  | Some b when b == block -> true
+  | _ -> (
+      match parent_op op with
+      | Some p -> is_in_block ~block p
+      | None -> false)
+
+let replace_uses_in_block block ~old_v ~new_v =
+  if not (old_v == new_v) then
+    List.iter
+      (fun (o, i) -> if is_in_block ~block o then set_operand o i new_v)
+      old_v.v_uses
 
 let find_op root p =
   let exception Found of op in
@@ -215,8 +321,6 @@ let find_op root p =
     walk root (fun op -> if op != root && p op then raise (Found op));
     None
   with Found op -> Some op
-
-let ops_of_block b = b.b_ops
 
 let create_module () =
   let block = create_block [] in
@@ -257,7 +361,7 @@ let func_args op = Array.to_list (func_entry op).b_args
 let find_func m name =
   List.find_opt
     (fun op -> is_func op && String.equal (func_name op) name)
-    (module_block m).b_ops
+    (ops_of_block (module_block m))
 
 let rec clone_op_with map op =
   let remap v =
@@ -287,7 +391,7 @@ let rec clone_op_with map op =
              (fun (b, b') ->
                List.iter
                  (fun child -> append_op b' (clone_op_with map child))
-                 b.b_ops)
+                 (ops_of_block b))
              blocks;
            create_region (List.map snd blocks))
   in

@@ -6,9 +6,11 @@
     modules are themselves operations ([func.func], [builtin.module]), so a
     single recursive structure describes whole programs.
 
-    Use-def information is stored in the def direction only ([v_def]);
-    use lists are computed on demand by scanning from a root operation,
-    which keeps destructive rewriting simple and hard to corrupt. *)
+    Use-def information is stored in both directions: [v_def] points at the
+    defining op/block-arg, and [v_uses] is an intrusive use-list maintained
+    by every operand write ([create_op], [set_operand], [replace_uses],
+    [erase_op]), so [uses]/[has_uses]/[replace_uses] cost O(users) instead
+    of a whole-module walk. *)
 
 type value = {
   v_id : int;
@@ -17,6 +19,9 @@ type value = {
           rewriter must keep every use consistent and re-verify *)
   mutable v_hint : string option;  (** printer name hint, e.g. ["i"] *)
   mutable v_def : vdef;
+  mutable v_uses : (op * int) list;
+      (** intrusive use-list, newest first; maintained by Core's own
+          operand writes — mutate operands only through Core functions *)
 }
 
 and vdef =
@@ -37,7 +42,10 @@ and op = {
 and block = {
   b_id : int;
   mutable b_args : value array;
-  mutable b_ops : op list;
+  mutable b_head : op list;
+      (** forward prefix of the op sequence; read through {!ops_of_block} *)
+  mutable b_tail_rev : op list;
+      (** pending O(1) appends, in reverse; flushed into [b_head] on read *)
   mutable b_parent : region option;
 }
 
@@ -46,7 +54,8 @@ and region = { r_id : int; mutable r_blocks : block list }
 (** {2 Construction} *)
 
 (** [create_op name ~operands ~result_types ~attrs ~regions] builds a
-    detached operation and its result values. *)
+    detached operation and its result values, registering the op on each
+    operand's use-list. *)
 val create_op :
   ?operands:value list ->
   ?result_types:Typ.t list ->
@@ -84,13 +93,42 @@ val single_block : op -> int -> block
 (** The parent operation owning the block this op lives in, if attached. *)
 val parent_op : op -> op option
 
-(** The region's enclosing op, found by walking up from its first block's
-    parent pointers; only valid while attached. *)
+(** The region's enclosing op, found via the region registry; only valid
+    while attached. *)
 val block_parent_op : block -> op option
+
+(** [is_under ~root op] — is [op] equal to [root] or transitively nested
+    inside it (following parent pointers)? Detached and erased ops are
+    under nothing. *)
+val is_under : root:op -> op -> bool
+
+(** Number of live entries in the region->owner registry. Exposed for
+    leak regression tests: erasing an op unregisters its whole subtree,
+    so the size must return to baseline after build-and-erase cycles. *)
+val region_registry_size : unit -> int
+
+(** {2 Mutation listener}
+
+    The worklist rewrite driver observes IR mutations through a single
+    process-wide listener installed for the duration of a driver run. *)
+
+type listener = {
+  on_op_inserted : op -> unit;  (** fired after attaching an op to a block *)
+  on_op_erased : op -> unit;
+      (** fired at the start of {!erase_op}, while operands are intact *)
+  on_operand_update : op -> unit;
+      (** fired after {!set_operand} changes an operand *)
+}
+
+(** [with_listener l f] runs [f ()] with [l] installed, restoring the
+    previous listener afterwards (exception-safe, so drivers nest). *)
+val with_listener : listener -> (unit -> 'a) -> 'a
 
 (** {2 Block surgery} *)
 
 val append_op : block -> op -> unit
+(** O(1): pushes onto the block's pending tail. *)
+
 val prepend_op : block -> op -> unit
 
 (** [insert_before ~anchor op] places [op] just before [anchor] in the
@@ -102,7 +140,9 @@ val insert_after : anchor:op -> op -> unit
 (** Detach [op] from its block (no-op if already detached). *)
 val detach_op : op -> unit
 
-(** Detach and structurally invalidate: erased ops must not be reused. *)
+(** Detach and structurally invalidate the whole subtree: clears operand
+    arrays (removing their use-list entries) and unregisters nested
+    regions from the registry. Erased ops must not be reused. *)
 val erase_op : op -> unit
 
 (** {2 Use-def queries and mutation} *)
@@ -110,12 +150,22 @@ val erase_op : op -> unit
 (** [defining_op v] is [Some op] when [v] is an op result. *)
 val defining_op : value -> op option
 
-(** [uses root v] lists [(user, operand index)] pairs under [root]
-    (inclusive of [root] itself). *)
+(** [uses root v] lists [(user, operand index)] pairs attached under
+    [root] (inclusive of [root] itself), oldest registration first.
+    O(total users of [v]). *)
 val uses : op -> value -> (op * int) list
 
-(** [replace_uses root ~old_v ~new_v] rewrites every operand under [root]. *)
+(** [has_uses root v] — does any attached op under [root] use [v]?
+    Early-exits, so cheaper than [uses root v <> []]. *)
+val has_uses : op -> value -> bool
+
+(** [replace_uses root ~old_v ~new_v] rewrites every operand under [root].
+    O(users of [old_v]). *)
 val replace_uses : op -> old_v:value -> new_v:value -> unit
+
+(** [replace_uses_in_block block ~old_v ~new_v] — like {!replace_uses} but
+    scoped to users inside [block] (including nested regions). *)
+val replace_uses_in_block : block -> old_v:value -> new_v:value -> unit
 
 val set_operand : op -> int -> value -> unit
 
@@ -133,6 +183,8 @@ val walk_safe : op -> (op -> unit) -> unit
 (** First nested op (pre-order, excluding root) satisfying the predicate. *)
 val find_op : op -> (op -> bool) -> op option
 
+(** The block's ops in order. Flushes pending appends; always read the
+    sequence through this, never the raw fields. *)
 val ops_of_block : block -> op list
 
 (** {2 Module / function conveniences} *)

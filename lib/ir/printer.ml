@@ -285,7 +285,7 @@ and pp_block_contents env indent fmt (b : Core.block) =
     (fun op ->
       pp_op_in env indent fmt op;
       F.fprintf fmt "\n")
-    b.b_ops
+    (Core.ops_of_block b)
 
 let pp_op fmt op =
   let env = create_env () in

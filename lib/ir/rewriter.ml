@@ -23,10 +23,91 @@ let try_apply p ctx op =
   if applied then incr total_rewrites;
   applied
 
+let sort_by_benefit patterns =
+  List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
+
 let apply_greedily root patterns =
-  let patterns =
-    List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
+  let patterns = sort_by_benefit patterns in
+  (* LIFO worklist. Seeded post-order and popped from the top, the
+     outermost ops come off first: a nest-consuming raising pattern fires
+     on the outer loop before the driver wastes matcher work on the
+     interior ops it is about to erase (erased entries are skipped on
+     pop). Ops enqueued by a rewrite are processed before older entries,
+     so fold cascades complete locally. *)
+  let stack = ref [] in
+  let pending : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let enqueue op =
+    if op != root && not (Hashtbl.mem pending op.Core.o_id) then begin
+      Hashtbl.replace pending op.Core.o_id ();
+      stack := op :: !stack
+    end
   in
+  (* Enqueue an op together with its enclosing chain up to the root:
+     raising patterns match on an outer loop nest whose interior just
+     changed, so a mutation inside a region must revisit the ancestors. *)
+  let rec enqueue_up op =
+    enqueue op;
+    match Core.parent_op op with
+    | Some p when p != root -> enqueue_up p
+    | _ -> ()
+  in
+  let listener =
+    {
+      Core.on_op_inserted = enqueue_up;
+      on_operand_update = enqueue_up;
+      on_op_erased =
+        (fun op ->
+          (* The erased op's operands may have become dead. *)
+          Array.iter
+            (fun v ->
+              match Core.defining_op v with
+              | Some d -> enqueue d
+              | None -> ())
+            op.Core.o_operands;
+          match Core.parent_op op with
+          | Some p when p != root -> enqueue_up p
+          | _ -> ());
+    }
+  in
+  (* Seed post-order so nested ops rewrite before the nests that contain
+     them — the order progressive raising wants. *)
+  Core.walk_post root (fun op -> if op != root then enqueue op);
+  let applications = ref 0 in
+  Core.with_listener listener (fun () ->
+      while !stack <> [] do
+        let op = List.hd !stack in
+        stack := List.tl !stack;
+        Hashtbl.remove pending op.Core.o_id;
+        if op != root && Core.is_under ~root op then begin
+          let rec try_patterns = function
+            | [] -> ()
+            | p :: rest ->
+                if op.Core.o_parent == None then ()
+                else
+                  let ctx = { root; builder = Builder.before op } in
+                  if try_apply p ctx op then begin
+                    incr applications;
+                    if !applications > max_iterations then
+                      Support.Diag.errorf
+                        "rewriter: no fixpoint after %d rewrites (diverging \
+                         pattern set?)"
+                        max_iterations;
+                    (* A successful rewrite may enable another pattern on
+                       the same op (if it survived). *)
+                    if Core.is_under ~root op then enqueue op
+                  end
+                  else try_patterns rest
+          in
+          try_patterns patterns
+        end
+      done);
+  !applications
+
+(* The pre-worklist driver: full sweep from the root restarted after every
+   application. Kept as the differential-testing oracle for the worklist
+   driver (see test/test_random.ml). *)
+let apply_greedily_fullsweep root patterns =
+  let patterns = sort_by_benefit patterns in
   let applications = ref 0 in
   let progress = ref true in
   let iterations = ref 0 in
@@ -42,10 +123,10 @@ let apply_greedily root patterns =
     let exception Applied in
     (try
        Core.walk_safe root (fun op ->
-           if op != root && op.o_parent != None then
+           if op != root && op.Core.o_parent != None then
              List.iter
                (fun p ->
-                 if op.o_parent != None then
+                 if op.Core.o_parent != None then
                    let ctx = { root; builder = Builder.before op } in
                    if try_apply p ctx op then (
                      incr applications;
@@ -56,9 +137,7 @@ let apply_greedily root patterns =
   !applications
 
 let apply_sweeps root patterns =
-  let patterns =
-    List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
-  in
+  let patterns = sort_by_benefit patterns in
   let applications = ref 0 in
   let progress = ref true in
   let sweeps = ref 0 in
@@ -69,10 +148,10 @@ let apply_sweeps root patterns =
         max_iterations;
     progress := false;
     Core.walk_safe root (fun op ->
-        if op != root && op.o_parent != None then
+        if op != root && op.Core.o_parent != None then
           List.iter
             (fun p ->
-              if op.o_parent != None then
+              if op.Core.o_parent != None then
                 let ctx = { root; builder = Builder.before op } in
                 if try_apply p ctx op then begin
                   incr applications;
@@ -82,35 +161,31 @@ let apply_sweeps root patterns =
   done;
   !applications
 
+let check_arity ~what op values =
+  let n = Core.num_results op and m = List.length values in
+  if n <> m then
+    Support.Diag.errorf
+      "%s: arity mismatch replacing %s (%d results, %d replacement values)"
+      what op.Core.o_name n m
+
 let replace_op ctx op values =
-  let results = Array.to_list op.Core.o_results in
-  (try
-     List.iter2
-       (fun (old_v : Core.value) new_v ->
-         Core.replace_uses ctx.root ~old_v ~new_v)
-       results values
-   with Invalid_argument _ ->
-     Support.Diag.errorf "replace_op: arity mismatch replacing %s"
-       op.Core.o_name);
+  check_arity ~what:"replace_op" op values;
+  List.iteri
+    (fun i new_v ->
+      Core.replace_uses ctx.root ~old_v:(Core.result op i) ~new_v)
+    values;
   Core.erase_op op
 
 let replace_op_local ctx op values =
-  (match op.Core.o_parent with
+  ignore ctx;
+  match op.Core.o_parent with
   | None -> Support.Diag.errorf "replace_op_local: op is detached"
   | Some block ->
-      let results = Array.to_list op.Core.o_results in
-      (try
-         List.iter2
-           (fun (old_v : Core.value) new_v ->
-             List.iter
-               (fun sibling ->
-                 Core.replace_uses sibling ~old_v ~new_v)
-               (Core.ops_of_block block))
-           results values
-       with Invalid_argument _ ->
-         Support.Diag.errorf "replace_op_local: arity mismatch replacing %s"
-           op.Core.o_name));
-  ignore ctx;
-  Core.erase_op op
+      check_arity ~what:"replace_op_local" op values;
+      List.iteri
+        (fun i new_v ->
+          Core.replace_uses_in_block block ~old_v:(Core.result op i) ~new_v)
+        values;
+      Core.erase_op op
 
 let erase_op = Core.erase_op

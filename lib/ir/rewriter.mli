@@ -20,13 +20,23 @@ type pattern = {
 val pattern :
   name:string -> ?benefit:int -> (ctx -> Core.op -> bool) -> pattern
 
-(** [apply_greedily root patterns] repeatedly sweeps the op tree applying
-    the highest-benefit matching pattern until a fixpoint (or a safety
-    iteration bound, at which point it raises). The walk restarts after
-    every application — use it for raising patterns whose rewrites
-    restructure large regions. Returns the number of successful pattern
-    applications. *)
+(** [apply_greedily root patterns] applies the highest-benefit matching
+    pattern per op to a fixpoint using a worklist: the queue is seeded
+    with a post-order walk (nested ops before their nests), and each
+    successful rewrite re-enqueues only the affected neighborhood —
+    newly inserted ops, ops whose operands changed, the defining ops of
+    an erased op's operands, and the enclosing-op chain of each (so
+    nest-level raising patterns see interior changes). Raises after a
+    safety bound of applications (diverging pattern set). Returns the
+    number of successful pattern applications. *)
 val apply_greedily : Core.op -> pattern list -> int
+
+(** [apply_greedily_fullsweep root patterns] — the pre-worklist driver:
+    full sweep from the root, restarted after every application. Same
+    fixpoints as {!apply_greedily} on confluent pattern sets; kept as
+    the oracle for the differential property test and for debugging
+    driver regressions. *)
+val apply_greedily_fullsweep : Core.op -> pattern list -> int
 
 (** [apply_sweeps root patterns] applies patterns in full sweeps without
     restarting after each application, iterating sweeps to a fixpoint —

@@ -32,7 +32,7 @@ let rec verify_op scope (op : Core.op) =
                 (fun (res : Core.value) ->
                   Hashtbl.replace inner res.Core.v_id ())
                 child.o_results)
-            b.b_ops;
+            (Core.ops_of_block b);
           (* Terminator discipline: if any op in the block is a registered
              terminator it must be the last one. *)
           let rec check_terms = function
@@ -44,7 +44,7 @@ let rec verify_op scope (op : Core.op) =
                     o.Core.o_name
                 else check_terms rest
           in
-          check_terms b.b_ops)
+          check_terms (Core.ops_of_block b))
         r.r_blocks)
     op.o_regions
 

@@ -11,7 +11,7 @@ let verify_for (op : Core.op) =
   let body = Core.single_block op 0 in
   if Array.length body.b_args <> 1 then
     D.errorf "scf.for: body must have exactly the induction variable";
-  match List.rev body.b_ops with
+  match List.rev (Core.ops_of_block body) with
   | last :: _ when String.equal last.o_name "scf.yield" -> ()
   | _ -> D.errorf "scf.for: body must end with scf.yield"
 

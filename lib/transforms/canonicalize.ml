@@ -6,7 +6,7 @@ let const_val (v : Core.value) =
   | Some op -> Arith.constant_float_value op
   | None -> None
 
-let fold_identities (ctx : Rewriter.ctx) (op : Core.op) =
+let fold_identities ~fast_math (ctx : Rewriter.ctx) (op : Core.op) =
   let replace_with v =
     Rewriter.replace_op ctx op [ v ];
     true
@@ -20,7 +20,12 @@ let fold_identities (ctx : Rewriter.ctx) (op : Core.op) =
           replace_with c
       | Some 1.0, None -> replace_with (y ())
       | None, Some 1.0 -> replace_with (x ())
-      | Some 0.0, None | None, Some 0.0 ->
+      (* x *. 0.0 -> 0.0 is wrong for NaN, +/-inf and -0.0 (NaN *. 0.0 is
+         NaN, inf *. 0.0 is NaN, -1.0 *. 0.0 is -0.0), so it only fires
+         under fast-math. Note the [0.0] literal pattern also matches
+         [-0.0] (float patterns compare with [=]). The const*const arm
+         above is exact and needs no gate. *)
+      | (Some 0.0, None | None, Some 0.0) when fast_math ->
           replace_with (Arith.constant_float ctx.builder 0.0)
       | _ -> false)
   | "arith.addf" -> (
@@ -42,13 +47,17 @@ let fold_identities (ctx : Rewriter.ctx) (op : Core.op) =
       | _ -> false)
   | _ -> false
 
-let patterns () =
-  [ Rewriter.pattern ~name:"fold-float-identities" fold_identities ]
+let patterns ?(fast_math = false) () =
+  [ Rewriter.pattern ~name:"fold-float-identities" (fold_identities ~fast_math) ]
 
-let run root =
-  let n = Rewriter.apply_greedily root (patterns ()) in
+let run ?fast_math root =
+  let n = Rewriter.apply_greedily root (patterns ?fast_math ()) in
   (* Folding orphans constants; sweep them. *)
   ignore (Dce.run root);
   n
 
 let pass = Pass.make ~name:"canonicalize" (fun root -> ignore (run root))
+
+let fast_math_pass =
+  Pass.make ~name:"canonicalize-fast-math" (fun root ->
+      ignore (run ~fast_math:true root))

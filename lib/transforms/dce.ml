@@ -43,7 +43,7 @@ let run root =
           op != root
           && (not (has_side_effects op))
           && Array.for_all
-               (fun (r : Core.value) -> Core.uses root r = [])
+               (fun (r : Core.value) -> not (Core.has_uses root r))
                op.o_results
           && Core.num_results op > 0
         then to_erase := op :: !to_erase);

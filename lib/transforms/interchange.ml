@@ -123,7 +123,7 @@ let vectorize_func func =
       Array.iter
         (fun (r : Core.region) ->
           List.iter
-            (fun (blk : Core.block) -> List.iter process blk.b_ops)
+            (fun (blk : Core.block) -> List.iter process (Core.ops_of_block blk))
             r.r_blocks)
         op.Core.o_regions
   in

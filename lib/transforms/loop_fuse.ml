@@ -148,7 +148,7 @@ let run h root =
                            else scan rest
                        | _ -> ()
                      in
-                     scan blk.b_ops)
+                     scan (Core.ops_of_block blk))
                    r.r_blocks)
                op.Core.o_regions)
        with Found (a, b) ->

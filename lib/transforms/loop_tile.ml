@@ -92,7 +92,7 @@ let tile_all root ~size =
       Array.iter
         (fun (r : Core.region) ->
           List.iter
-            (fun (blk : Core.block) -> List.iter process blk.b_ops)
+            (fun (blk : Core.block) -> List.iter process (Core.ops_of_block blk))
             r.r_blocks)
         op.Core.o_regions
   in

@@ -4,3 +4,6 @@ set -eu
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+# Smoke-run the micro benchmarks so rewrite-driver regressions (which the
+# unit tests may not exercise at scale) still fail the gate.
+dune exec bench/main.exe -- micro --quick

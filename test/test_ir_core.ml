@@ -148,6 +148,81 @@ let test_verifier_catches_scope_violation () =
   | Ok () -> Alcotest.fail "expected scope violation"
   | Error _ -> ()
 
+let test_use_lists_track_mutation () =
+  let f = mk_gemm () in
+  let c = List.nth (Core.func_args f) 2 in
+  Alcotest.(check bool) "has_uses" true (Core.has_uses f c);
+  (* Detached users don't count as uses under [f]. *)
+  let load, idx =
+    match Core.uses f c with
+    | (load, idx) :: _ -> (load, idx)
+    | [] -> Alcotest.fail "expected users of C"
+  in
+  Core.detach_op load;
+  Alcotest.(check int) "uses of C after detach" 1
+    (List.length (Core.uses f c));
+  (* Reattach and redirect one operand; the use moves lists. *)
+  Core.append_op (Core.func_entry f) load;
+  let a = List.hd (Core.func_args f) in
+  Core.set_operand load idx a;
+  Alcotest.(check int) "uses of C after set_operand" 1
+    (List.length (Core.uses f c));
+  Alcotest.(check bool) "A gained the use" true
+    (List.exists (fun (o, i) -> Core.op_equal o load && i = idx)
+       (Core.uses f a));
+  (* Erasing a user scrubs its use-list entries. *)
+  Core.erase_op load;
+  Alcotest.(check bool) "no dangling entry after erase" false
+    (List.exists (fun (o, _) -> Core.op_equal o load) a.Core.v_uses)
+
+let test_erase_scrubs_nested_uses () =
+  let f = mk_gemm () in
+  let c = List.nth (Core.func_args f) 2 in
+  (* The users of C live deep inside the loop nest; erasing the outer
+     loop must remove them from C's use-list. *)
+  let outer = List.hd (Affine.Loops.top_level_loops f) in
+  Core.erase_op outer;
+  Alcotest.(check bool) "C unused after nest erase" false
+    (Core.has_uses f c);
+  Alcotest.(check int) "raw use-list scrubbed" 0 (List.length c.Core.v_uses)
+
+let test_region_registry_no_leak () =
+  let baseline = Core.region_registry_size () in
+  for _ = 1 to 10 do
+    let m = Core.create_module () in
+    let f = mk_gemm () in
+    Core.append_op (Core.module_block m) f;
+    (* Rewrite a bit so intermediate loop structures come and go too. *)
+    Transforms.Loop_tile.tile_all f ~size:2;
+    Core.erase_op m
+  done;
+  Alcotest.(check int) "registry returns to baseline" baseline
+    (Core.region_registry_size ())
+
+let test_append_many_then_read () =
+  (* O(1) appends flush correctly and preserve order across interleaved
+     reads and inserts. *)
+  let blk = Core.create_block [] in
+  let b = Builder.at_end blk in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    ignore (Std_dialect.Arith.constant_float b (float_of_int i))
+  done;
+  let ops = Core.ops_of_block blk in
+  Alcotest.(check int) "count" n (List.length ops);
+  let in_order =
+    List.mapi
+      (fun i op -> Std_dialect.Arith.constant_float_value op = Some (float_of_int i))
+      ops
+  in
+  Alcotest.(check bool) "order preserved" true (List.for_all Fun.id in_order);
+  (* Insert relative to an op that was sitting in the pending tail. *)
+  let anchor = List.nth ops 1000 in
+  let ib = Builder.before anchor in
+  ignore (Std_dialect.Arith.constant_float ib (-1.0));
+  Alcotest.(check int) "count after insert" (n + 1)
+    (List.length (Core.ops_of_block blk))
+
 let test_module_func_lookup () =
   let m = Core.create_module () in
   let f = mk_gemm () in
@@ -175,6 +250,14 @@ let suite =
     Alcotest.test_case "walk counts ops" `Quick test_walk_counts;
     Alcotest.test_case "printer output" `Quick test_printer_gemm;
     Alcotest.test_case "uses and replace" `Quick test_uses_and_replace;
+    Alcotest.test_case "use-lists track mutation" `Quick
+      test_use_lists_track_mutation;
+    Alcotest.test_case "erase scrubs nested uses" `Quick
+      test_erase_scrubs_nested_uses;
+    Alcotest.test_case "region registry does not leak" `Quick
+      test_region_registry_no_leak;
+    Alcotest.test_case "O(1) append flushes in order" `Quick
+      test_append_many_then_read;
     Alcotest.test_case "insert and detach" `Quick test_insert_detach;
     Alcotest.test_case "clone is independent" `Quick test_clone_independent;
     Alcotest.test_case "clone remaps operands" `Quick test_clone_remaps_operands;

@@ -183,6 +183,89 @@ let prop_random_programs_roundtrip =
       Printer.op_to_string m2 = printed
       && Interp.Eval.equivalent m m2 "f" ~seed:79)
 
+(* ---- worklist driver vs full-sweep driver ------------------------------ *)
+
+(* Random affine nests whose bodies bait the canonicalization folds. *)
+let gen_fold_mini_c =
+  let open QCheck.Gen in
+  let* depth = int_range 1 3 in
+  let* extents = list_repeat depth (int_range 2 5) in
+  let* variant = int_range 0 3 in
+  let vars = [ "i"; "j"; "k" ] in
+  let subscripts =
+    String.concat ""
+      (List.mapi (fun d _ -> Printf.sprintf "[%s]" (List.nth vars d)) extents)
+  in
+  let dims =
+    String.concat "" (List.map (Printf.sprintf "[%d]") extents)
+  in
+  let stmt =
+    match variant with
+    | 0 -> Printf.sprintf "A%s = A%s + 1.0;" subscripts subscripts
+    | 1 -> Printf.sprintf "A%s = A%s * 1.0 + 0.0;" subscripts subscripts
+    | 2 -> Printf.sprintf "A%s = 2.0 * 3.0 + A%s;" subscripts subscripts
+    | _ -> Printf.sprintf "A%s = 0.0 + A%s * 1.0;" subscripts subscripts
+  in
+  let rec loops d =
+    if d = depth then stmt
+    else
+      Printf.sprintf "for (int %s = 0; %s < %d; ++%s) { %s }"
+        (List.nth vars d) (List.nth vars d) (List.nth extents d)
+        (List.nth vars d) (loops (d + 1))
+  in
+  return (Printf.sprintf "void f(float A%s) { %s }" dims (loops 0))
+
+(* Freshly-built pattern sets per driver run, selected by a bitmask, so
+   the two drivers never share compiled-matcher state. *)
+let build_patterns bits =
+  List.concat
+    [
+      (if bits land 1 <> 0 then Transforms.Canonicalize.patterns () else []);
+      (if bits land 2 <> 0 then Tdl.Backend.compile_tdl Tdl.Frontend.gemm_tdl
+       else []);
+      (if bits land 4 <> 0 then
+         Tdl.Backend.compile_tdl
+           "def MV { pattern y(i) += A(i,j) * x(j) }\n\
+            def MVT { pattern y(j) += A(i,j) * x(i) }"
+       else []);
+      (if bits land 8 <> 0 then [ Mlt.Tactics.fill_pattern () ] else []);
+    ]
+
+let gen_driver_case =
+  let open QCheck.Gen in
+  let* bits = int_range 1 15 in
+  let* kind = int_range 0 3 in
+  let* src =
+    match kind with
+    | 0 | 1 -> gen_fold_mini_c
+    | 2 ->
+        let* ni = int_range 2 6 and* nj = int_range 2 6
+        and* nk = int_range 2 6 in
+        return (W.Polybench.mm ~ni ~nj ~nk ())
+    | _ ->
+        let* ni = int_range 2 6 and* nj = int_range 2 6
+        and* nk = int_range 2 6 in
+        return (W.Polybench.gemm ~ni ~nj ~nk ())
+  in
+  return (bits, src)
+
+let prop_worklist_matches_fullsweep =
+  QCheck.Test.make
+    ~name:
+      "worklist driver = full-sweep driver (identical IR and rewrite counts)"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (bits, src) -> Printf.sprintf "patterns=%#x\n%s" bits src)
+       gen_driver_case)
+    (fun (bits, src) ->
+      let m1 = Met.Emit_affine.translate src in
+      let m2 = Met.Emit_affine.translate src in
+      let n1 = Rewriter.apply_greedily m1 (build_patterns bits) in
+      let n2 = Rewriter.apply_greedily_fullsweep m2 (build_patterns bits) in
+      Verifier.verify m1;
+      Verifier.verify m2;
+      n1 = n2 && Printer.op_to_string m1 = Printer.op_to_string m2)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -193,4 +276,5 @@ let suite =
       prop_map_compose_eval;
       prop_inverse_permutation;
       prop_random_programs_roundtrip;
+      prop_worklist_matches_fullsweep;
     ]

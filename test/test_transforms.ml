@@ -193,6 +193,72 @@ let test_canonicalize_folds_constants () =
       | None -> Alcotest.fail "stored value has no defining op")
   | _ -> Alcotest.fail "expected one store"
 
+let stored_constant f =
+  let stores = ref [] in
+  Core.walk f (fun op ->
+      if Affine.Affine_ops.is_store op then stores := op :: !stores);
+  match !stores with
+  | [ st ] -> (
+      match Core.defining_op (Affine.Affine_ops.stored_value st) with
+      | Some c -> Std_dialect.Arith.constant_float_value c
+      | None -> Alcotest.fail "stored value has no defining op")
+  | _ -> Alcotest.fail "expected exactly one store"
+
+let test_canonicalize_mul_zero_gated () =
+  (* x *. 0.0 with a runtime x must NOT fold by default: x could be NaN,
+     +/-inf or -0.0, where the result is not +0.0. *)
+  let build () =
+    let f =
+      Core.create_func ~name:"t" ~arg_types:[ Typ.memref [ 1 ] Typ.F32 ] ()
+    in
+    let b = Builder.at_end (Core.func_entry f) in
+    let buf = List.hd (Core.func_args f) in
+    let i0 = Std_dialect.Arith.constant_index b 0 in
+    let x = Affine.Affine_ops.load_simple b buf [ i0 ] in
+    let z = Std_dialect.Arith.constant_float b 0.0 in
+    let p = Std_dialect.Arith.mulf b x z in
+    ignore (Affine.Affine_ops.store_simple b p buf [ i0 ]);
+    ignore (Builder.build b "func.return");
+    f
+  in
+  let f = build () in
+  ignore (T.Canonicalize.run f);
+  Verifier.verify f;
+  Alcotest.(check int) "mulf kept without fast-math" 1
+    (count_ops f "arith.mulf");
+  let g = build () in
+  ignore (T.Canonicalize.run ~fast_math:true g);
+  Verifier.verify g;
+  Alcotest.(check int) "mulf folded under fast-math" 0
+    (count_ops g "arith.mulf")
+
+let test_canonicalize_nan_inf_const_folds () =
+  (* Constant*constant folding is exact, so it stays on without fast-math
+     and must propagate NaN: nan*0 = nan, inf*0 = nan — never +0.0. *)
+  let check name lhs rhs =
+    let f =
+      Core.create_func ~name:"t" ~arg_types:[ Typ.memref [ 1 ] Typ.F32 ] ()
+    in
+    let b = Builder.at_end (Core.func_entry f) in
+    let buf = List.hd (Core.func_args f) in
+    let x = Std_dialect.Arith.constant_float b lhs in
+    let y = Std_dialect.Arith.constant_float b rhs in
+    let p = Std_dialect.Arith.mulf b x y in
+    ignore
+      (Affine.Affine_ops.store_simple b p buf
+         [ Std_dialect.Arith.constant_index b 0 ]);
+    ignore (Builder.build b "func.return");
+    ignore (T.Canonicalize.run f);
+    Alcotest.(check int) (name ^ ": mulf folded") 0 (count_ops f "arith.mulf");
+    match stored_constant f with
+    | Some v ->
+        Alcotest.(check bool) (name ^ ": folds to NaN") true (Float.is_nan v)
+    | None -> Alcotest.fail (name ^ ": expected a folded constant")
+  in
+  check "nan*0" Float.nan 0.0;
+  check "inf*0" Float.infinity 0.0;
+  check "0*neg-inf" 0.0 Float.neg_infinity
+
 (* --- dce ----------------------------------------------------------------- *)
 
 let test_dce_removes_dead_buffer () =
@@ -272,6 +338,10 @@ let suite =
       test_canonicalize_alpha_one;
     Alcotest.test_case "canonicalize folds constants" `Quick
       test_canonicalize_folds_constants;
+    Alcotest.test_case "canonicalize: x*0 gated behind fast-math" `Quick
+      test_canonicalize_mul_zero_gated;
+    Alcotest.test_case "canonicalize: NaN/inf const folds" `Quick
+      test_canonicalize_nan_inf_const_folds;
     Alcotest.test_case "dce removes dead buffers" `Quick
       test_dce_removes_dead_buffer;
     Alcotest.test_case "dce keeps live buffers" `Quick
