@@ -259,6 +259,104 @@ let micro () =
         results)
     tests
 
+(* ---------------- Interpreter engines ----------------------------------- *)
+
+(* Walk-vs-compiled throughput on loop-level IR (no library-call fast
+   paths): the staged engine's reason to exist is executing raw affine/scf
+   loop nests, where the walker pays hash lookups and string dispatch per
+   operation per iteration. Also writes BENCH_interp.json for machines. *)
+let interp () =
+  sep "Interpreter engines: tree-walking oracle vs staged closures";
+  let n = if !quick then 16 else 64 in
+  let lower_to_scf src =
+    let m = Met.Emit_affine.translate src in
+    Core.walk m (fun op ->
+        if Core.is_func op then Transforms.Lower_affine.run op);
+    Verifier.verify m;
+    m
+  in
+  let cases =
+    [
+      ("mm/affine", Met.Emit_affine.translate (W.mm ~ni:n ~nj:n ~nk:n ()));
+      ("mm/scf", lower_to_scf (W.mm ~ni:n ~nj:n ~nk:n ()));
+      ( "atax/affine",
+        Met.Emit_affine.translate (W.atax ~m:(4 * n) ~n:(4 * n) ()) );
+      ("gesummv/affine", Met.Emit_affine.translate (W.gesummv ~n:(4 * n) ()));
+    ]
+  in
+  let func m =
+    List.hd (List.filter Core.is_func (Core.ops_of_block (Core.module_block m)))
+  in
+  let fresh_args f =
+    List.mapi
+      (fun i (p : Core.value) ->
+        let b = Interp.Buffer.of_type p.Core.v_typ in
+        Interp.Buffer.randomize ~seed:i b;
+        b)
+      (Core.func_args f)
+  in
+  let time_once run =
+    let t0 = Unix.gettimeofday () in
+    run ();
+    Unix.gettimeofday () -. t0
+  in
+  let best reps run = List.fold_left min infinity (List.init reps (fun _ -> time_once run)) in
+  let reps = if !quick then 1 else 3 in
+  Printf.printf "%-16s %12s %12s %9s %12s %9s\n" "kernel" "walk (s)"
+    "compiled (s)" "speedup" "stage (s)" "checked";
+  let rows =
+    List.map
+      (fun (name, m) ->
+        let f = func m in
+        let stage_t = time_once (fun () -> ignore (Interp.Compile.compile_func f)) in
+        let compiled = Interp.Compile.compile_func f in
+        (* Differential sanity on this exact module before timing: the two
+           engines must produce bit-identical buffers. *)
+        let wargs = fresh_args f and cargs = fresh_args f in
+        Interp.Eval.run_func ~engine:Interp.Eval.Walk f wargs;
+        Interp.Compile.execute compiled cargs;
+        List.iter2
+          (fun a b ->
+            if Interp.Buffer.max_abs_diff a b <> 0. then
+              failwith ("interp bench: engines disagree on " ^ name))
+          wargs cargs;
+        let walk_t =
+          best reps (fun () ->
+              Interp.Eval.run_func ~engine:Interp.Eval.Walk f wargs)
+        in
+        let compiled_t =
+          best reps (fun () -> Interp.Compile.execute compiled cargs)
+        in
+        Printf.printf "%-16s %12.6f %12.6f %8.1fx %12.6f %6d/%-3d\n" name
+          walk_t compiled_t (walk_t /. compiled_t) stage_t
+          compiled.Interp.Compile.c_checked_accesses
+          (compiled.Interp.Compile.c_checked_accesses
+          + compiled.Interp.Compile.c_unchecked_accesses);
+        (name, walk_t, compiled_t, stage_t, compiled))
+      cases
+  in
+  Printf.printf
+    "(speedup = walker / compiled wall-clock; stage = one-time closure \
+     compilation;\n checked = accesses the interval analysis could not prove \
+     in bounds.)\n";
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"n\": %d,\n  \"results\": [\n"
+    !quick n;
+  List.iteri
+    (fun i (name, walk_t, compiled_t, stage_t, compiled) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"walk_s\": %.9f, \"compiled_s\": %.9f, \
+         \"speedup\": %.2f, \"stage_s\": %.9f, \"checked_accesses\": %d, \
+         \"unchecked_accesses\": %d}%s\n"
+        name walk_t compiled_t (walk_t /. compiled_t) stage_t
+        compiled.Interp.Compile.c_checked_accesses
+        compiled.Interp.Compile.c_unchecked_accesses
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_interp.json\n"
+
 (* ---------------- Ablations (design choices from DESIGN.md) ------------- *)
 
 let ablation () =
@@ -410,7 +508,10 @@ let () =
   in
   let sections =
     if args = [] || args = [ "all" ] then
-      [ "fig8"; "sec51"; "fig9"; "table2"; "overhead"; "ablation"; "micro" ]
+      [
+        "fig8"; "sec51"; "fig9"; "table2"; "overhead"; "ablation"; "interp";
+        "micro";
+      ]
     else args
   in
   List.iter
@@ -421,6 +522,7 @@ let () =
       | "table2" -> table2 ()
       | "overhead" -> overhead ()
       | "ablation" -> ablation ()
+      | "interp" -> interp ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %S\n" other)
     sections

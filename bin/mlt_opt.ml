@@ -37,12 +37,14 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
     raise_scf canonicalize fast_math raise_affine raise_linalg reorder_chains
     to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
-    timing pass_stats print_ir_after_all print_ir_after output =
+    verify_exec engine timing pass_stats print_ir_after_all print_ir_after
+    output =
   if list_ops_flag then (
     list_ops ();
     Ok ())
   else
   try
+    Interp.Eval.default_engine := engine;
     let src = read_file input in
     let is_c =
       force_c || Filename.check_suffix input ".c" || input = "-"
@@ -51,6 +53,9 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
       if is_c then Met.Emit_affine.translate ~file:input src
       else Ir.Parser.parse_module ~file:input src
     in
+    (* Snapshot before any pass runs so --verify-exec can difference the
+       final IR against the input's execution semantics. *)
+    let pristine = if verify_exec then Some (Ir.Core.clone_op m) else None in
     let tactic_patterns =
       match tactics_file with
       | None -> None
@@ -99,6 +104,20 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
     padd dce T.Dce.pass;
     Ir.Pass.run pm m;
     Ir.Verifier.verify m;
+    (match pristine with
+    | Some reference ->
+        List.iter
+          (fun f ->
+            if Ir.Core.is_func f then begin
+              let name = Ir.Core.func_name f in
+              if not (Interp.Eval.equivalent reference m name ~seed:0) then
+                Support.Diag.errorf
+                  "verify-exec: pipeline changed the semantics of %S" name;
+              Printf.eprintf "verify-exec: %s preserved (engine: %s)\n%!" name
+                (Interp.Rt.engine_name engine)
+            end)
+          (Ir.Core.ops_of_block (Ir.Core.module_block reference))
+    | None -> ());
     let text = Ir.Printer.op_to_string m ^ "\n" in
     (match output with
     | None -> print_string text
@@ -161,6 +180,18 @@ let cmd =
     $ flag [ "lower-affine" ] "Lower the affine dialect to SCF + memref."
     $ flag [ "dce" ] "Dead-code (and dead-buffer) elimination."
     $ flag [ "verify-each" ] "Verify the IR after every pass."
+    $ flag [ "verify-exec" ]
+        "Differential execution check: interpret every function before and \
+         after the pipeline on identical random inputs and fail if any \
+         output buffer differs."
+    $ Arg.(value
+           & opt (enum [ ("compiled", Interp.Rt.Compiled);
+                         ("walk", Interp.Rt.Walk) ])
+               Interp.Rt.Compiled
+           & info [ "interp" ] ~docv:"ENGINE"
+               ~doc:"Interpreter execution engine for --verify-exec: \
+                     'compiled' (staged closures, default) or 'walk' (the \
+                     tree-walking oracle).")
     $ flag [ "timing" ]
         "Print a per-pass table: seconds, op counts before/after, and \
          pattern match/rewrite counters."

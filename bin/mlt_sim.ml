@@ -20,8 +20,18 @@ let machines =
     (fun (m : Machine.Machine_model.t) -> (m.name, m))
     Machine.Machine_model.platforms
 
-let run input config machine flops timing pass_stats =
+let sole_func m =
+  match
+    List.filter Ir.Core.is_func (Ir.Core.ops_of_block (Ir.Core.module_block m))
+  with
+  | [ f ] -> f
+  | fs ->
+      Support.Diag.errorf "mlt-sim: expected one kernel, found %d"
+        (List.length fs)
+
+let run input config machine flops engine execute verify timing pass_stats =
   try
+    Interp.Eval.default_engine := engine;
     let src =
       match input with
       | "-" -> In_channel.input_all In_channel.stdin
@@ -30,6 +40,24 @@ let run input config machine flops timing pass_stats =
     let pm =
       if timing || pass_stats then Some (Ir.Pass.create_manager ()) else None
     in
+    if verify then
+      if Mlt.Pipeline.check_semantics ~engine config src then
+        Printf.printf "verify:           %s preserves semantics (engine: %s)\n"
+          (Mlt.Pipeline.config_name config)
+          (Interp.Rt.engine_name engine)
+      else
+        Support.Diag.errorf "mlt-sim: %s pipeline changed kernel semantics"
+          (Mlt.Pipeline.config_name config);
+    if execute then begin
+      let m = Mlt.Pipeline.prepare config src in
+      let name = Ir.Core.func_name (sole_func m) in
+      let t0 = Unix.gettimeofday () in
+      ignore (Interp.Eval.run_on_random ~engine m name ~seed:0);
+      let t1 = Unix.gettimeofday () in
+      Printf.printf "executed:         %s in %.6f s (engine: %s)\n" name
+        (t1 -. t0)
+        (Interp.Rt.engine_name engine)
+    end;
     let report = Mlt.Pipeline.time ?pm config machine src in
     Printf.printf "machine:          %s\n" machine.Machine.Machine_model.name;
     Printf.printf "config:           %s\n" (Mlt.Pipeline.config_name config);
@@ -72,6 +100,23 @@ let cmd =
       $ Arg.(value & opt (some float) None
              & info [ "flops" ] ~docv:"N"
                  ~doc:"Mathematical flop count, to report GFLOPS.")
+      $ Arg.(value
+             & opt (enum [ ("compiled", Interp.Rt.Compiled);
+                           ("walk", Interp.Rt.Walk) ])
+                 Interp.Rt.Compiled
+             & info [ "interp" ] ~docv:"ENGINE"
+                 ~doc:"Interpreter engine for --execute/--verify: 'compiled' \
+                       (staged closures, default) or 'walk' (tree-walking \
+                       oracle).")
+      $ Arg.(value & flag
+             & info [ "execute" ]
+                 ~doc:"Actually interpret the prepared kernel on random \
+                       inputs (wall-clock), in addition to the simulation.")
+      $ Arg.(value & flag
+             & info [ "verify" ]
+                 ~doc:"Differential execution check: interpret the kernel \
+                       before and after the pipeline on identical random \
+                       inputs and fail if any output buffer differs.")
       $ Arg.(value & flag
              & info [ "timing" ]
                  ~doc:"Print a per-pass table for the compilation pipeline \

@@ -1,0 +1,688 @@
+(* The staged compile-to-closure execution engine.
+
+   A verified [func.func] is compiled once into nested OCaml closures:
+
+   - every SSA value is value-numbered into a dense slot of a typed
+     register frame (an [int array] for index/integer values, a
+     [float array] for scalars, a [Buffer.t array] for memrefs) — no
+     hash-table lookups in the hot path;
+   - op dispatch (the walker's per-iteration string match) is resolved
+     once at compile time: each op becomes a closure specialized to its
+     operand/result slots;
+   - affine bound maps and access maps are pre-compiled to closures;
+     loop bounds are evaluated once per loop entry;
+   - memref accesses lower to precomputed row-major-stride linear
+     offsets. A small interval analysis over the integer slots (constant
+     propagation through loop bounds, affine maps and arith ops) proves
+     most subscripts in bounds at compile time, in which case the access
+     is a single unchecked [data.(offset)] read/write; anything it cannot
+     prove (data-dependent or potentially out-of-range indices) falls
+     back to the per-dimension checked path ([Buffer.get]/[Buffer.set],
+     identical failure behavior to the walker).
+
+   The tree-walker in [Eval] remains the semantic oracle; differential
+   tests assert bit-identical buffers between the two engines. *)
+
+open Ir
+module A = Affine.Affine_ops
+module E = Affine_expr
+open Rt
+
+type frame = {
+  ints : int array;
+  floats : float array;
+  bufs : Buffer.t array;
+}
+
+type code = frame -> unit
+
+(* ---------------- compile-time integer intervals ------------------------ *)
+
+type range = { lo : int; hi : int }
+
+(* Magnitude cap: anything whose bounds could leave this window is treated
+   as unknown, which keeps the interval arithmetic below safely inside
+   native-int range (products of two in-window values cannot overflow). *)
+let cap = 1 lsl 30
+
+let mk_range lo hi =
+  if lo > hi || lo < -cap || hi > cap then None else Some { lo; hi }
+
+let r_const c = mk_range c c
+
+let r_add a b =
+  match (a, b) with
+  | Some a, Some b -> mk_range (a.lo + b.lo) (a.hi + b.hi)
+  | _ -> None
+
+let r_sub a b =
+  match (a, b) with
+  | Some a, Some b -> mk_range (a.lo - b.hi) (a.hi - b.lo)
+  | _ -> None
+
+let r_mul a b =
+  match (a, b) with
+  | Some a, Some b ->
+      let p1 = a.lo * b.lo
+      and p2 = a.lo * b.hi
+      and p3 = a.hi * b.lo
+      and p4 = a.hi * b.hi in
+      mk_range (min (min p1 p2) (min p3 p4)) (max (max p1 p2) (max p3 p4))
+  | _ -> None
+
+(* Division/modulo intervals only for a constant divisor; [floordiv] is
+   monotone in the dividend, and a floor-mod result always carries the
+   divisor's sign. *)
+let r_floordiv a b =
+  match (a, b) with
+  | Some a, Some { lo = y; hi = y' } when y = y' && y <> 0 ->
+      let q1 = E.floordiv a.lo y and q2 = E.floordiv a.hi y in
+      mk_range (min q1 q2) (max q1 q2)
+  | _ -> None
+
+let r_mod _ b =
+  match b with
+  | Some { lo = y; hi = y' } when y = y' && y <> 0 ->
+      if y > 0 then mk_range 0 (y - 1) else mk_range (y + 1) 0
+  | _ -> None
+
+(* ---------------- compilation context ----------------------------------- *)
+
+type ctx = {
+  int_slot : (int, int) Hashtbl.t; (* value id -> frame.ints index *)
+  float_slot : (int, int) Hashtbl.t;
+  buf_slot : (int, int) Hashtbl.t;
+  ranges : (int, range) Hashtbl.t; (* value id -> proven interval *)
+  mutable n_ints : int;
+  mutable n_floats : int;
+  mutable n_bufs : int;
+  mutable checked_accesses : int;
+  mutable unchecked_accesses : int;
+}
+
+let create_ctx () =
+  {
+    int_slot = Hashtbl.create 64;
+    float_slot = Hashtbl.create 64;
+    buf_slot = Hashtbl.create 16;
+    ranges = Hashtbl.create 64;
+    n_ints = 0;
+    n_floats = 0;
+    n_bufs = 0;
+    checked_accesses = 0;
+    unchecked_accesses = 0;
+  }
+
+(* Definition sites assign a slot (and with it the value's runtime class,
+   mirroring the walker's dynamic R_int/R_float/R_buf tagging). *)
+let def_int ctx (v : Core.value) =
+  let s = ctx.n_ints in
+  ctx.n_ints <- s + 1;
+  Hashtbl.replace ctx.int_slot v.v_id s;
+  s
+
+let def_float ctx (v : Core.value) =
+  let s = ctx.n_floats in
+  ctx.n_floats <- s + 1;
+  Hashtbl.replace ctx.float_slot v.v_id s;
+  s
+
+let def_buf ctx (v : Core.value) =
+  let s = ctx.n_bufs in
+  ctx.n_bufs <- s + 1;
+  Hashtbl.replace ctx.buf_slot v.v_id s;
+  s
+
+(* Use sites resolve slots; SSA dominance guarantees the definition was
+   compiled first, so a missing slot is a class mismatch. *)
+let int_slot ctx (v : Core.value) =
+  match Hashtbl.find_opt ctx.int_slot v.v_id with
+  | Some s -> s
+  | None -> fail "interp: expected an integer value"
+
+let buf_slot ctx (v : Core.value) =
+  match Hashtbl.find_opt ctx.buf_slot v.v_id with
+  | Some s -> s
+  | None -> fail "interp: expected a buffer value"
+
+(* Float reads coerce integer operands like the walker's [as_float]. *)
+let float_rd ctx (v : Core.value) : frame -> float =
+  match Hashtbl.find_opt ctx.float_slot v.v_id with
+  | Some s -> fun fr -> fr.floats.(s)
+  | None -> (
+      match Hashtbl.find_opt ctx.int_slot v.v_id with
+      | Some s -> fun fr -> float_of_int fr.ints.(s)
+      | None -> fail "interp: expected a float value")
+
+let float_slot2 ctx (a : Core.value) (b : Core.value) =
+  match
+    ( Hashtbl.find_opt ctx.float_slot a.v_id,
+      Hashtbl.find_opt ctx.float_slot b.v_id )
+  with
+  | Some sa, Some sb -> Some (sa, sb)
+  | _ -> None
+
+let range_of ctx (v : Core.value) = Hashtbl.find_opt ctx.ranges v.v_id
+
+let set_range ctx (v : Core.value) = function
+  | Some r -> Hashtbl.replace ctx.ranges v.v_id r
+  | None -> ()
+
+let static_shape_of (v : Core.value) =
+  match Typ.static_shape v.Core.v_typ with
+  | Some shape -> Array.of_list shape
+  | None ->
+      fail "interp: dynamic memref shapes unsupported (%s)"
+        (Typ.to_string v.Core.v_typ)
+
+(* ---------------- staged affine expressions over frame slots ------------ *)
+
+(* Like [Affine_expr.compile], but dimension [i] reads the frame's integer
+   slot [slots.(i)] instead of an argument array, so access/bound closures
+   plug straight into the register frame. *)
+let compile_expr (slots : int array) (e : E.t) : frame -> int =
+  let rec go = function
+    | E.Dim i ->
+        let s = slots.(i) in
+        fun fr -> fr.ints.(s)
+    | E.Sym _ -> fail "interp: affine symbols unsupported"
+    | E.Const c -> fun _ -> c
+    | E.Add (a, E.Const c) ->
+        let ca = go a in
+        fun fr -> ca fr + c
+    | E.Add (a, b) ->
+        let ca = go a and cb = go b in
+        fun fr -> ca fr + cb fr
+    | E.Mul (E.Const k, E.Dim i) | E.Mul (E.Dim i, E.Const k) ->
+        let s = slots.(i) in
+        fun fr -> k * fr.ints.(s)
+    | E.Mul (a, b) ->
+        let ca = go a and cb = go b in
+        fun fr -> ca fr * cb fr
+    | E.Floor_div (a, b) ->
+        let ca = go a and cb = go b in
+        fun fr -> floordivsi (ca fr) (cb fr)
+    | E.Mod (a, b) ->
+        let ca = go a and cb = go b in
+        fun fr -> remsi (ca fr) (cb fr)
+  in
+  match E.linearize e with
+  | Some { E.dim_coeffs = []; sym_coeffs = []; constant } -> fun _ -> constant
+  | Some { E.dim_coeffs = [ (d, 1) ]; sym_coeffs = []; constant = 0 } ->
+      let s = slots.(d) in
+      fun fr -> fr.ints.(s)
+  | Some { E.dim_coeffs = [ (d, k) ]; sym_coeffs = []; constant } ->
+      let s = slots.(d) in
+      fun fr -> (k * fr.ints.(s)) + constant
+  | Some { E.dim_coeffs = [ (d0, k0); (d1, k1) ]; sym_coeffs = []; constant }
+    ->
+      let s0 = slots.(d0) and s1 = slots.(d1) in
+      fun fr -> (k0 * fr.ints.(s0)) + (k1 * fr.ints.(s1)) + constant
+  | _ -> go e
+
+let rec expr_range (dim_ranges : range option array) = function
+  | E.Dim i -> dim_ranges.(i)
+  | E.Sym _ -> None
+  | E.Const c -> r_const c
+  | E.Add (a, b) -> r_add (expr_range dim_ranges a) (expr_range dim_ranges b)
+  | E.Mul (a, b) -> r_mul (expr_range dim_ranges a) (expr_range dim_ranges b)
+  | E.Floor_div (a, b) ->
+      r_floordiv (expr_range dim_ranges a) (expr_range dim_ranges b)
+  | E.Mod (a, b) -> r_mod (expr_range dim_ranges a) (expr_range dim_ranges b)
+
+(* ---------------- bound maps -------------------------------------------- *)
+
+(* Compile a loop bound to (closure, proven interval of the runtime bound
+   value). Multi-result maps fold with min (upper bounds) / max (lower
+   bounds); all-constant maps collapse to a constant closure. *)
+let compile_bound ctx ~minimize ((map, args) : A.bound) =
+  if map.Affine_map.n_syms <> 0 then
+    fail "interp: affine loop bounds with symbols unsupported";
+  if map.Affine_map.exprs = [] then
+    fail "interp: affine loop bound map has no results";
+  if List.length args <> map.Affine_map.n_dims then
+    fail "interp: affine loop bound operands do not match map";
+  let slots = Array.of_list (List.map (int_slot ctx) args) in
+  let dim_ranges = Array.of_list (List.map (range_of ctx) args) in
+  let sel = if minimize then min else max in
+  let code =
+    match List.map (fun e -> (e, E.is_constant e)) map.Affine_map.exprs with
+    | consts when List.for_all (fun (_, c) -> c <> None) consts ->
+        let v =
+          List.fold_left
+            (fun acc (_, c) ->
+              match (acc, c) with
+              | None, Some c -> Some c
+              | Some acc, Some c -> Some (sel acc c)
+              | _, None -> assert false)
+            None consts
+        in
+        let v = Option.get v in
+        fun _ -> v
+    | _ -> (
+        match List.map (compile_expr slots) map.Affine_map.exprs with
+        | [ c ] -> c
+        | c0 :: rest ->
+            let rest = Array.of_list rest in
+            fun fr ->
+              let acc = ref (c0 fr) in
+              for i = 0 to Array.length rest - 1 do
+                acc := sel !acc (rest.(i) fr)
+              done;
+              !acc
+        | [] -> assert false)
+  in
+  let range =
+    List.fold_left
+      (fun acc e ->
+        let r = expr_range dim_ranges e in
+        match (acc, r) with
+        | `First, r -> `Seen r
+        | `Seen (Some a), Some b ->
+            `Seen (mk_range (sel a.lo b.lo) (sel a.hi b.hi))
+        | `Seen _, _ -> `Seen None)
+      `First map.Affine_map.exprs
+  in
+  let range = match range with `First -> None | `Seen r -> r in
+  (code, range)
+
+(* ---------------- memory accesses --------------------------------------- *)
+
+(* Shared tail of affine and memref accesses: given per-dimension index
+   closures and a precomputed linear-offset closure, emit either the
+   unchecked path (proven in bounds: a single stride-weighted indexed
+   read/write) or the checked per-dimension fallback. *)
+let access_code ctx ~bslot ~(comp : (frame -> int) array)
+    ~(off : frame -> int) ~in_bounds
+    (kind : [ `Load of int | `Store of frame -> float ]) : code =
+  if in_bounds then begin
+    ctx.unchecked_accesses <- ctx.unchecked_accesses + 1;
+    match kind with
+    | `Load d -> fun fr -> fr.floats.(d) <- fr.bufs.(bslot).Buffer.data.(off fr)
+    | `Store gv -> fun fr -> fr.bufs.(bslot).Buffer.data.(off fr) <- gv fr
+  end
+  else begin
+    ctx.checked_accesses <- ctx.checked_accesses + 1;
+    let n = Array.length comp in
+    (* Reused scratch index vector: accesses execute atomically, so a
+       per-op buffer is safe. [Buffer.get]/[set] perform the walker's
+       exact bounds checks (identical out-of-bounds failure). *)
+    let idx = Array.make n 0 in
+    let fill fr =
+      for i = 0 to n - 1 do
+        idx.(i) <- comp.(i) fr
+      done
+    in
+    match kind with
+    | `Load d ->
+        fun fr ->
+          fill fr;
+          fr.floats.(d) <- Buffer.get fr.bufs.(bslot) idx
+    | `Store gv ->
+        fun fr ->
+          fill fr;
+          Buffer.set fr.bufs.(bslot) idx (gv fr)
+  end
+
+let proves_in_bounds shape ranges =
+  let ok = ref true in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some { lo; hi } when lo >= 0 && hi < shape.(i) -> ()
+      | _ -> ok := false)
+    ranges;
+  !ok
+
+(* Stride-weighted linear offset of the access expressions, as one folded
+   affine expression ([Affine_map.make] already simplified each result, and
+   the smart constructors merge the stride constants). *)
+let offset_expr strides exprs =
+  let acc = ref (E.const 0) in
+  List.iteri
+    (fun i e -> acc := E.add !acc (E.mul (E.const strides.(i)) e))
+    exprs;
+  !acc
+
+let compile_affine_access ctx op ~is_store =
+  let memref = A.access_memref op in
+  let bslot = buf_slot ctx memref in
+  let shape = static_shape_of memref in
+  let strides = Buffer.strides_of shape in
+  let map = A.access_map op in
+  if map.Affine_map.n_syms <> 0 then
+    fail "interp: affine access maps with symbols unsupported";
+  let exprs = map.Affine_map.exprs in
+  if List.length exprs <> Array.length shape then
+    fail "interp: %s access map arity does not match memref rank"
+      op.Core.o_name;
+  let idx_operands = Array.of_list (A.access_indices op) in
+  if Array.length idx_operands <> map.Affine_map.n_dims then
+    fail "interp: %s index operand count does not match access map"
+      op.Core.o_name;
+  let slots = Array.map (int_slot ctx) idx_operands in
+  let dim_ranges = Array.map (range_of ctx) idx_operands in
+  let result_ranges =
+    Array.of_list (List.map (expr_range dim_ranges) exprs)
+  in
+  let in_bounds = proves_in_bounds shape result_ranges in
+  let comp = Array.of_list (List.map (compile_expr slots) exprs) in
+  let off = compile_expr slots (offset_expr strides exprs) in
+  let kind =
+    if is_store then `Store (float_rd ctx (A.stored_value op))
+    else `Load (def_float ctx (Core.result op 0))
+  in
+  access_code ctx ~bslot ~comp ~off ~in_bounds kind
+
+let compile_memref_access ctx op ~is_store =
+  let base = if is_store then 1 else 0 in
+  let memref = Core.operand op base in
+  let bslot = buf_slot ctx memref in
+  let shape = static_shape_of memref in
+  let strides = Buffer.strides_of shape in
+  let n_idx = Core.num_operands op - base - 1 in
+  let idx_operands =
+    Array.init n_idx (fun i -> Core.operand op (base + 1 + i))
+  in
+  let slots = Array.map (int_slot ctx) idx_operands in
+  let dim_ranges = Array.map (range_of ctx) idx_operands in
+  let in_bounds =
+    n_idx = Array.length shape && proves_in_bounds shape dim_ranges
+  in
+  let comp =
+    Array.map (fun s -> fun fr -> fr.ints.(s)) slots
+  in
+  let off =
+    (* Plain slot reads: specialize the common low ranks. Only built when
+       the access is proven in bounds (which implies n_idx = rank, so the
+       stride lookups are well-defined). *)
+    if not in_bounds then fun _ -> 0
+    else
+      match Array.length slots with
+      | 0 -> fun _ -> 0
+      | 1 ->
+          let s0 = slots.(0) and k0 = strides.(0) in
+          if k0 = 1 then fun fr -> fr.ints.(s0)
+          else fun fr -> k0 * fr.ints.(s0)
+      | 2 ->
+          let s0 = slots.(0)
+          and k0 = strides.(0)
+          and s1 = slots.(1)
+          and k1 = strides.(1) in
+          if k1 = 1 then fun fr -> (k0 * fr.ints.(s0)) + fr.ints.(s1)
+          else fun fr -> (k0 * fr.ints.(s0)) + (k1 * fr.ints.(s1))
+      | n ->
+          fun fr ->
+            let acc = ref 0 in
+            for i = 0 to n - 1 do
+              acc := !acc + (strides.(i) * fr.ints.(slots.(i)))
+            done;
+            !acc
+  in
+  let kind =
+    if is_store then `Store (float_rd ctx (Core.operand op 0))
+    else `Load (def_float ctx (Core.result op 0))
+  in
+  access_code ctx ~bslot ~comp ~off ~in_bounds kind
+
+(* ---------------- operations -------------------------------------------- *)
+
+let rec compile_block ctx (b : Core.block) : code =
+  let codes = List.filter_map (compile_op ctx) (Core.ops_of_block b) in
+  match codes with
+  | [] -> fun _ -> ()
+  | [ c ] -> c
+  | [ c1; c2 ] ->
+      fun fr ->
+        c1 fr;
+        c2 fr
+  | [ c1; c2; c3 ] ->
+      fun fr ->
+        c1 fr;
+        c2 fr;
+        c3 fr
+  | [ c1; c2; c3; c4 ] ->
+      fun fr ->
+        c1 fr;
+        c2 fr;
+        c3 fr;
+        c4 fr
+  | cs ->
+      let cs = Array.of_list cs in
+      fun fr ->
+        for i = 0 to Array.length cs - 1 do
+          cs.(i) fr
+        done
+
+and compile_op ctx (op : Core.op) : code option =
+  match op.o_name with
+  | "affine.yield" | "scf.yield" | "func.return" | "memref.dealloc" -> None
+  | "arith.constant" -> (
+      match Core.attr op "value" with
+      | Attr.Float f ->
+          let d = def_float ctx (Core.result op 0) in
+          Some (fun fr -> fr.floats.(d) <- f)
+      | Attr.Int i ->
+          let r = Core.result op 0 in
+          let d = def_int ctx r in
+          set_range ctx r (r_const i);
+          Some (fun fr -> fr.ints.(d) <- i)
+      | a -> fail "interp: bad constant %s" (Attr.to_string a))
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" -> (
+      let x = Core.operand op 0 and y = Core.operand op 1 in
+      let d = def_float ctx (Core.result op 0) in
+      match float_slot2 ctx x y with
+      | Some (a, b) ->
+          Some
+            (match op.o_name with
+            | "arith.addf" ->
+                fun fr -> fr.floats.(d) <- fr.floats.(a) +. fr.floats.(b)
+            | "arith.subf" ->
+                fun fr -> fr.floats.(d) <- fr.floats.(a) -. fr.floats.(b)
+            | "arith.mulf" ->
+                fun fr -> fr.floats.(d) <- fr.floats.(a) *. fr.floats.(b)
+            | _ -> fun fr -> fr.floats.(d) <- fr.floats.(a) /. fr.floats.(b))
+      | None ->
+          (* Mixed int/float operands: coerce through getters like the
+             walker's [as_float]. *)
+          let ga = float_rd ctx x and gb = float_rd ctx y in
+          Some
+            (match op.o_name with
+            | "arith.addf" -> fun fr -> fr.floats.(d) <- ga fr +. gb fr
+            | "arith.subf" -> fun fr -> fr.floats.(d) <- ga fr -. gb fr
+            | "arith.mulf" -> fun fr -> fr.floats.(d) <- ga fr *. gb fr
+            | _ -> fun fr -> fr.floats.(d) <- ga fr /. gb fr))
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.floordivsi"
+  | "arith.remsi" ->
+      let x = Core.operand op 0 and y = Core.operand op 1 in
+      let a = int_slot ctx x and b = int_slot ctx y in
+      let ra = range_of ctx x and rb = range_of ctx y in
+      let r = Core.result op 0 in
+      let d = def_int ctx r in
+      set_range ctx r
+        (match op.o_name with
+        | "arith.addi" -> r_add ra rb
+        | "arith.subi" -> r_sub ra rb
+        | "arith.muli" -> r_mul ra rb
+        | "arith.floordivsi" -> r_floordiv ra rb
+        | _ -> r_mod ra rb);
+      Some
+        (match op.o_name with
+        | "arith.addi" -> fun fr -> fr.ints.(d) <- fr.ints.(a) + fr.ints.(b)
+        | "arith.subi" -> fun fr -> fr.ints.(d) <- fr.ints.(a) - fr.ints.(b)
+        | "arith.muli" -> fun fr -> fr.ints.(d) <- fr.ints.(a) * fr.ints.(b)
+        | "arith.floordivsi" ->
+            fun fr -> fr.ints.(d) <- floordivsi fr.ints.(a) fr.ints.(b)
+        | _ -> fun fr -> fr.ints.(d) <- remsi fr.ints.(a) fr.ints.(b))
+  | "memref.alloc" ->
+      let r = Core.result op 0 in
+      let shape = Array.to_list (static_shape_of r) in
+      let d = def_buf ctx r in
+      (* Allocation stays inside the closure: an alloc nested in a loop
+         yields a fresh zeroed buffer per iteration, like the walker. *)
+      Some (fun fr -> fr.bufs.(d) <- Buffer.create shape)
+  | "affine.for" ->
+      let body = check_loop_shape op in
+      let step = A.for_step op in
+      if step <= 0 then fail "interp: affine.for with non-positive step";
+      let lb_code, lb_range =
+        compile_bound ctx ~minimize:false (A.for_lb op)
+      in
+      let ub_code, ub_range = compile_bound ctx ~minimize:true (A.for_ub op) in
+      let iv = body.b_args.(0) in
+      let iv_slot = def_int ctx iv in
+      (match (lb_range, ub_range) with
+      | Some l, Some u -> set_range ctx iv (mk_range l.lo (max l.lo (u.hi - 1)))
+      | _ -> ());
+      let body_code = compile_block ctx body in
+      Some
+        (fun fr ->
+          let ub = ub_code fr in
+          let i = ref (lb_code fr) in
+          while !i < ub do
+            fr.ints.(iv_slot) <- !i;
+            body_code fr;
+            i := !i + step
+          done)
+  | "scf.for" ->
+      let body = check_loop_shape op in
+      let s_lb = int_slot ctx (Core.operand op 0)
+      and s_ub = int_slot ctx (Core.operand op 1)
+      and s_step = int_slot ctx (Core.operand op 2) in
+      let iv = body.b_args.(0) in
+      let iv_slot = def_int ctx iv in
+      (match (range_of ctx (Core.operand op 0), range_of ctx (Core.operand op 1))
+      with
+      | Some l, Some u -> set_range ctx iv (mk_range l.lo (max l.lo (u.hi - 1)))
+      | _ -> ());
+      let body_code = compile_block ctx body in
+      Some
+        (fun fr ->
+          let lb = fr.ints.(s_lb)
+          and ub = fr.ints.(s_ub)
+          and step = fr.ints.(s_step) in
+          if step <= 0 then fail "interp: scf.for with non-positive step";
+          let i = ref lb in
+          while !i < ub do
+            fr.ints.(iv_slot) <- !i;
+            body_code fr;
+            i := !i + step
+          done)
+  | "affine.load" -> Some (compile_affine_access ctx op ~is_store:false)
+  | "affine.store" -> Some (compile_affine_access ctx op ~is_store:true)
+  | "memref.load" -> Some (compile_memref_access ctx op ~is_store:false)
+  | "memref.store" -> Some (compile_memref_access ctx op ~is_store:true)
+  | "affine.apply" -> (
+      let map = Attr.get_map (Core.attr op "map") in
+      if map.Affine_map.n_syms <> 0 then
+        fail "interp: affine.apply with symbols unsupported";
+      match map.Affine_map.exprs with
+      | [] -> fail "interp: affine.apply map has no results"
+      | e :: _ ->
+          let operands = op.o_operands in
+          if Array.length operands <> map.Affine_map.n_dims then
+            fail "interp: affine.apply operand count does not match map";
+          let slots = Array.map (int_slot ctx) operands in
+          let dim_ranges = Array.map (range_of ctx) operands in
+          let c = compile_expr slots e in
+          let r = Core.result op 0 in
+          let d = def_int ctx r in
+          set_range ctx r (expr_range dim_ranges e);
+          Some (fun fr -> fr.ints.(d) <- c fr))
+  | "affine.matmul" | "linalg.matmul" | "blas.sgemm" ->
+      let a = buf_slot ctx (Core.operand op 0)
+      and b = buf_slot ctx (Core.operand op 1)
+      and c = buf_slot ctx (Core.operand op 2) in
+      Some (fun fr -> Kernels.matmul fr.bufs.(a) fr.bufs.(b) fr.bufs.(c))
+  | "linalg.matvec" | "blas.sgemv" ->
+      let transpose =
+        match Core.find_attr op "transpose" with
+        | Some (Attr.Bool b) -> b
+        | _ -> false
+      in
+      let a = buf_slot ctx (Core.operand op 0)
+      and x = buf_slot ctx (Core.operand op 1)
+      and y = buf_slot ctx (Core.operand op 2) in
+      Some
+        (fun fr -> Kernels.matvec ~transpose fr.bufs.(a) fr.bufs.(x) fr.bufs.(y))
+  | "linalg.transpose" | "blas.stranspose" ->
+      let perm = Array.of_list (Attr.get_ints (Core.attr op "permutation")) in
+      let src = buf_slot ctx (Core.operand op 0)
+      and dst = buf_slot ctx (Core.operand op 1) in
+      Some (fun fr -> Kernels.transpose ~perm fr.bufs.(src) fr.bufs.(dst))
+  | "linalg.reshape" | "blas.sreshape_copy" ->
+      let src = buf_slot ctx (Core.operand op 0)
+      and dst = buf_slot ctx (Core.operand op 1) in
+      Some (fun fr -> Kernels.reshape_copy fr.bufs.(src) fr.bufs.(dst))
+  | "linalg.conv2d_nchw" | "blas.sconv2d" ->
+      let i = buf_slot ctx (Core.operand op 0)
+      and w = buf_slot ctx (Core.operand op 1)
+      and o = buf_slot ctx (Core.operand op 2) in
+      Some (fun fr -> Kernels.conv2d_nchw fr.bufs.(i) fr.bufs.(w) fr.bufs.(o))
+  | "linalg.contract" ->
+      let maps = Linalg.Linalg_ops.contract_maps op in
+      (* Operand shapes are static, so the iteration space is inferable at
+         compile time; the runtime closure goes straight to the kernel. *)
+      let shapes =
+        List.map static_shape_of (Array.to_list op.o_operands)
+      in
+      let dims = Kernels.infer_contract_dims ~maps ~shapes in
+      let a = buf_slot ctx (Core.operand op 0)
+      and b = buf_slot ctx (Core.operand op 1)
+      and c = buf_slot ctx (Core.operand op 2) in
+      Some
+        (fun fr ->
+          Kernels.contract ~maps ~dims fr.bufs.(a) fr.bufs.(b) fr.bufs.(c))
+  | "linalg.fill" ->
+      let v = Attr.get_float (Core.attr op "value") in
+      let b = buf_slot ctx (Core.operand op 0) in
+      Some (fun fr -> Kernels.fill v fr.bufs.(b))
+  | name -> fail "interp: unsupported operation '%s'" name
+
+(* ---------------- whole functions --------------------------------------- *)
+
+type compiled = {
+  c_func : Core.op;
+  c_arg_slots : int array;
+  c_n_ints : int;
+  c_n_floats : int;
+  c_n_bufs : int;
+  c_checked_accesses : int;
+  c_unchecked_accesses : int;
+  c_body : code;
+}
+
+let compile_func f =
+  if not (Core.is_func f) then
+    invalid_arg "Interp.Compile.compile_func: not a func.func";
+  let ctx = create_ctx () in
+  let arg_slots =
+    Array.of_list (List.map (def_buf ctx) (Core.func_args f))
+  in
+  let body = compile_block ctx (Core.func_entry f) in
+  {
+    c_func = f;
+    c_arg_slots = arg_slots;
+    c_n_ints = ctx.n_ints;
+    c_n_floats = ctx.n_floats;
+    c_n_bufs = ctx.n_bufs;
+    c_checked_accesses = ctx.checked_accesses;
+    c_unchecked_accesses = ctx.unchecked_accesses;
+    c_body = body;
+  }
+
+let placeholder_buf = Buffer.create []
+
+let execute c args =
+  validate_args c.c_func args;
+  let fr =
+    {
+      ints = Array.make (max 1 c.c_n_ints) 0;
+      floats = Array.make (max 1 c.c_n_floats) 0.;
+      bufs = Array.make (max 1 c.c_n_bufs) placeholder_buf;
+    }
+  in
+  List.iteri (fun i b -> fr.bufs.(c.c_arg_slots.(i)) <- b) args;
+  c.c_body fr
+
+let run_func f args = execute (compile_func f) args

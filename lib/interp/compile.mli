@@ -1,0 +1,57 @@
+(** The staged compile-to-closure execution engine.
+
+    A verified [func.func] is compiled {e once} into nested OCaml closures:
+    every SSA value gets a dense slot in a typed register frame (int /
+    float / buffer arrays — no hash tables in the hot path), op dispatch is
+    resolved at compile time (no per-iteration string matching), affine
+    bound and access maps are pre-compiled, and memref accesses become
+    precomputed-stride linear offsets. A compile-time interval analysis
+    over the integer values proves most subscripts in bounds statically;
+    accesses it cannot prove fall back to the walker's per-dimension
+    checked path with identical failure behavior.
+
+    The tree-walker in {!Eval} is the reference oracle; differential tests
+    assert bit-identical buffers between the two engines. Compilation
+    failures and runtime failures both raise {!Rt.Runtime_error} with the
+    same messages the walker produces. *)
+
+(** The typed register frame a compiled function executes against. *)
+type frame = {
+  ints : int array;
+  floats : float array;
+  bufs : Buffer.t array;
+}
+
+type code = frame -> unit
+
+(** A compiled function. Closures capture frame {e slot indices}, not
+    values, so one compiled function can be executed many times (each
+    {!execute} allocates a fresh frame). *)
+type compiled = {
+  c_func : Ir.Core.op;  (** the source [func.func] *)
+  c_arg_slots : int array;  (** buffer slots of the function arguments *)
+  c_n_ints : int;  (** integer register-frame size *)
+  c_n_floats : int;  (** float register-frame size *)
+  c_n_bufs : int;  (** buffer register-frame size *)
+  c_checked_accesses : int;
+      (** memory accesses that could {e not} be proven in bounds and use
+          the checked fallback (introspection for tests and the bench) *)
+  c_unchecked_accesses : int;
+      (** accesses statically proven in bounds: a single unchecked
+          linear-offset read/write *)
+  c_body : code;
+}
+
+(** [compile_func f] stages [f] ([func.func] with buffer arguments).
+    Raises {!Rt.Runtime_error} on unsupported constructs (iter_args loops,
+    unknown ops, symbolic maps, dynamic shapes) — eagerly, at compile
+    time. *)
+val compile_func : Ir.Core.op -> compiled
+
+(** [execute c args] validates [args] against the source function and runs
+    the compiled body over them (results are written into the argument
+    buffers, as in {!Eval.run_func}). *)
+val execute : compiled -> Buffer.t list -> unit
+
+(** [run_func f args] = [execute (compile_func f) args]. *)
+val run_func : Ir.Core.op -> Buffer.t list -> unit

@@ -1,9 +1,17 @@
 open Ir
 module A = Affine.Affine_ops
 
-exception Runtime_error of string
+(* The runtime-failure exception lives in [Rt] (shared with the staged
+   engine); rebinding it here keeps [Interp.Eval.Runtime_error] working. *)
+exception Runtime_error = Rt.Runtime_error
 
-let fail fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+let fail = Rt.fail
+
+type engine = Rt.engine = Walk | Compiled
+
+let default_engine = Rt.default_engine
+
+(* ---------------- the tree-walking oracle ------------------------------- *)
 
 type rv = R_float of float | R_int of int | R_buf of Buffer.t
 
@@ -60,15 +68,8 @@ let int_binop name =
   | "arith.addi" -> ( + )
   | "arith.subi" -> ( - )
   | "arith.muli" -> ( * )
-  | "arith.floordivsi" ->
-      fun x y ->
-        if y = 0 then fail "interp: division by zero"
-        else if x >= 0 then x / y
-        else -(((-x) + y - 1) / y)
-  | "arith.remsi" ->
-      fun x y ->
-        if y <= 0 then fail "interp: remainder by non-positive"
-        else ((x mod y) + y) mod y
+  | "arith.floordivsi" -> Rt.floordivsi
+  | "arith.remsi" -> Rt.remsi
   | _ -> assert false
 
 let rec exec_block env (b : Core.block) =
@@ -97,11 +98,11 @@ and exec_op env (op : Core.op) =
       bind env (Core.result op 0)
         (R_buf (Buffer.of_type (Core.result op 0).v_typ))
   | "affine.for" ->
+      let body = Rt.check_loop_shape op in
       let lb = eval_bound env ~minimize:false (A.for_lb op) in
       let ub = eval_bound env ~minimize:true (A.for_ub op) in
       let step = A.for_step op in
       if step <= 0 then fail "interp: affine.for with non-positive step";
-      let body = Core.single_block op 0 in
       let iv = body.b_args.(0) in
       let i = ref lb in
       while !i < ub do
@@ -110,11 +111,11 @@ and exec_op env (op : Core.op) =
         i := !i + step
       done
   | "scf.for" ->
+      let body = Rt.check_loop_shape op in
       let lb = as_int env (Core.operand op 0) in
       let ub = as_int env (Core.operand op 1) in
       let step = as_int env (Core.operand op 2) in
       if step <= 0 then fail "interp: scf.for with non-positive step";
-      let body = Core.single_block op 0 in
       let iv = body.b_args.(0) in
       let i = ref lb in
       while !i < ub do
@@ -201,43 +202,39 @@ and exec_op env (op : Core.op) =
         (as_buf env (Core.operand op 0))
   | name -> fail "interp: unsupported operation '%s'" name
 
-let run_func f args =
-  if not (Core.is_func f) then invalid_arg "Interp.run_func: not a func.func";
-  let params = Core.func_args f in
-  if List.length params <> List.length args then
-    fail "interp: %s expects %d arguments, got %d" (Core.func_name f)
-      (List.length params) (List.length args);
+let walk_func f args =
+  Rt.validate_args f args;
   let env = { values = Hashtbl.create 256 } in
-  List.iter2
-    (fun (p : Core.value) buf ->
-      (match Typ.static_shape p.v_typ with
-      | Some shape when shape = Array.to_list buf.Buffer.shape -> ()
-      | Some _ -> fail "interp: argument shape mismatch for %s"
-                    (Printer.debug_value p)
-      | None -> fail "interp: dynamic argument shapes unsupported");
-      bind env p (R_buf buf))
-    params args;
+  List.iter2 (fun (p : Core.value) buf -> bind env p (R_buf buf))
+    (Core.func_args f) args;
   exec_block env (Core.func_entry f)
 
-let run m name args =
+(* ---------------- engine dispatch --------------------------------------- *)
+
+let run_func ?engine f args =
+  match Option.value engine ~default:!Rt.default_engine with
+  | Walk -> walk_func f args
+  | Compiled -> Compile.run_func f args
+
+let run ?engine m name args =
   match Core.find_func m name with
-  | Some f -> run_func f args
+  | Some f -> run_func ?engine f args
   | None -> fail "interp: no function named %S" name
 
 let alloc_args f =
   List.map (fun (p : Core.value) -> Buffer.of_type p.v_typ) (Core.func_args f)
 
-let run_on_random m name ~seed =
+let run_on_random ?engine m name ~seed =
   match Core.find_func m name with
   | Some f ->
       let args = alloc_args f in
       List.iteri (fun i b -> Buffer.randomize ~seed:(seed + i) b) args;
-      run_func f args;
+      run_func ?engine f args;
       args
   | None -> fail "interp: no function named %S" name
 
-let equivalent ?eps m1 m2 name ~seed =
-  let r1 = run_on_random m1 name ~seed in
-  let r2 = run_on_random m2 name ~seed in
+let equivalent ?eps ?engine m1 m2 name ~seed =
+  let r1 = run_on_random ?engine m1 name ~seed in
+  let r2 = run_on_random ?engine m2 name ~seed in
   List.length r1 = List.length r2
   && List.for_all2 (Buffer.approx_equal ?eps) r1 r2

@@ -6,25 +6,51 @@
     computes the same buffers as the original (the paper relies on MLIR's
     verifier and testing for this).
 
-    Interpretation is intentionally simple and slow; performance questions
-    are answered by the {!Machine} library instead. *)
+    Two execution engines share one op semantics:
+
+    - [Walk] — the simple tree-walking oracle (hash-table environment,
+      per-op string dispatch). Intentionally simple; kept as the reference
+      implementation.
+    - [Compiled] — the staged engine ({!Compile}): the function is compiled
+      once into nested closures over slot-indexed register frames, with
+      op dispatch, affine maps, loop bounds and memory-access offsets all
+      resolved at compile time. Default, roughly an order of magnitude
+      faster on loop-level IR.
+
+    Entry points take [?engine] (default {!default_engine}, initially
+    [Compiled]); differential tests pin both engines explicitly and compare
+    buffers bit-for-bit. *)
 
 exception Runtime_error of string
 
+(** Re-export of {!Rt.engine} so callers can say [Interp.Eval.Walk]. *)
+type engine = Rt.engine = Walk | Compiled
+
+(** Process-wide default engine, [Compiled] initially; the [--interp] CLI
+    flag and the bench harness override it. *)
+val default_engine : engine ref
+
 (** [run_func f args] executes a [func.func]; [args] provides one buffer
     per memref argument (mutated in place). *)
-val run_func : Ir.Core.op -> Buffer.t list -> unit
+val run_func : ?engine:engine -> Ir.Core.op -> Buffer.t list -> unit
 
 (** [run m name args] — look up and run a function of a module. *)
-val run : Ir.Core.op -> string -> Buffer.t list -> unit
+val run : ?engine:engine -> Ir.Core.op -> string -> Buffer.t list -> unit
 
 (** [run_on_random m name ~seed shapes] — convenience for tests: allocate
     buffers per the function signature, fill them with reproducible random
     data, run, and return the buffers. *)
-val run_on_random : Ir.Core.op -> string -> seed:int -> Buffer.t list
+val run_on_random :
+  ?engine:engine -> Ir.Core.op -> string -> seed:int -> Buffer.t list
 
 (** [equivalent m1 m2 name ~seed] — run the same-named function of two
     modules on identical random inputs and compare all buffers. Returns
     the maximum element-wise difference. *)
-val equivalent : ?eps:float -> Ir.Core.op -> Ir.Core.op -> string ->
-  seed:int -> bool
+val equivalent :
+  ?eps:float ->
+  ?engine:engine ->
+  Ir.Core.op ->
+  Ir.Core.op ->
+  string ->
+  seed:int ->
+  bool

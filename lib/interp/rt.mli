@@ -1,0 +1,38 @@
+(** Shared runtime substrate of the two interpreter execution engines
+    (the {!Eval} tree-walking oracle and the {!Compile} staged engine):
+    the runtime-failure exception, engine selection, signed integer
+    division semantics, and common argument/loop-shape validation. *)
+
+exception Runtime_error of string
+
+(** [fail fmt ...] raises {!Runtime_error} with a formatted message. *)
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Which execution engine runs a function: [Walk] is the simple
+    tree-walking oracle, [Compiled] the staged compile-to-closure engine.
+    [Compiled] is the process-wide default; tests and the bench harness
+    pin engines explicitly. *)
+type engine = Walk | Compiled
+
+val default_engine : engine ref
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+(** Signed floor-division semantics shared by both engines (and by affine
+    expression folding — see {!Ir.Affine_expr.floordiv}): correct for
+    negative dividends {e and} divisors; division/remainder by zero raise
+    {!Runtime_error}. *)
+
+val floordivsi : int -> int -> int
+val remsi : int -> int -> int
+
+(** [check_loop_shape op] returns the loop body block of an
+    [affine.for]/[scf.for], raising an eager, descriptive {!Runtime_error}
+    when the loop carries iter_args (results or extra block arguments) —
+    which neither engine supports — instead of letting the results surface
+    later as a misleading "no runtime binding" failure. *)
+val check_loop_shape : Ir.Core.op -> Ir.Core.block
+
+(** [validate_args f args] checks arity and static argument shapes of a
+    [func.func] against the supplied buffers. *)
+val validate_args : Ir.Core.op -> Buffer.t list -> unit

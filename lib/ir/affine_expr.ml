@@ -11,6 +11,23 @@ let dim i = Dim i
 let sym i = Sym i
 let const c = Const c
 
+(* Floor-division semantics for any non-zero divisor: the result pair
+   [(floordiv x y, floormod x y)] satisfies [x = y*q + r] with [r] in
+   [[0, y)] for positive [y] and [(y, 0]] for negative [y]. OCaml's [/]
+   and [mod] truncate toward zero, so both need a correction when the
+   remainder is non-zero and the signs disagree. *)
+let floordiv x y =
+  if y = 0 then invalid_arg "Affine_expr.floordiv: division by zero"
+  else
+    let q = x / y and r = x mod y in
+    if r <> 0 && r < 0 <> (y < 0) then q - 1 else q
+
+let floormod x y =
+  if y = 0 then invalid_arg "Affine_expr.floormod: modulo by zero"
+  else
+    let r = x mod y in
+    if r <> 0 && r < 0 <> (y < 0) then r + y else r
+
 type linear = {
   dim_coeffs : (int * int) list;
   sym_coeffs : (int * int) list;
@@ -99,15 +116,13 @@ let rec simplify e =
           | sa, sb -> Mul (sa, sb))
       | Floor_div (a, b) -> (
           match (simplify a, simplify b) with
-          | Const x, Const y when y <> 0 ->
-              (* Floor semantics, also correct for negative numerators. *)
-              Const (if x >= 0 then x / y else -(((-x) + y - 1) / y))
+          | Const x, Const y when y <> 0 -> Const (floordiv x y)
           | sa, Const 1 -> sa
           | sa, sb -> Floor_div (sa, sb))
       | Mod (a, b) -> (
           match (simplify a, simplify b) with
-          | Const x, Const y when y > 0 -> Const (((x mod y) + y) mod y)
-          | _, Const 1 -> Const 0
+          | Const x, Const y when y <> 0 -> Const (floormod x y)
+          | _, Const (1 | -1) -> Const 0
           | sa, sb -> Mod (sa, sb)))
 
 let add a b = simplify (Add (a, b))
@@ -132,12 +147,56 @@ let rec eval ~dims ~syms = function
   | Floor_div (a, b) ->
       let x = eval ~dims ~syms a and y = eval ~dims ~syms b in
       if y = 0 then invalid_arg "Affine_expr.eval: division by zero"
-      else if x >= 0 then x / y
-      else -(((-x) + y - 1) / y)
+      else floordiv x y
   | Mod (a, b) ->
       let x = eval ~dims ~syms a and y = eval ~dims ~syms b in
-      if y <= 0 then invalid_arg "Affine_expr.eval: modulo by non-positive"
-      else ((x mod y) + y) mod y
+      if y = 0 then invalid_arg "Affine_expr.eval: modulo by zero"
+      else floormod x y
+
+(* Staged evaluation: resolve the expression tree to nested closures once,
+   then apply them to many dimension vectors without re-walking the tree.
+   Linear expressions get dedicated flat closures (the common case for
+   access functions), so a [k*d0 + d1] subscript costs two array reads and
+   two integer ops per application. *)
+let compile e =
+  let rec go = function
+    | Dim i -> fun dims -> dims.(i)
+    | Sym _ -> invalid_arg "Affine_expr.compile: symbols unsupported"
+    | Const c -> fun _ -> c
+    | Add (a, Const c) ->
+        let ca = go a in
+        fun dims -> ca dims + c
+    | Add (a, b) ->
+        let ca = go a and cb = go b in
+        fun dims -> ca dims + cb dims
+    | Mul (Const k, Dim i) | Mul (Dim i, Const k) ->
+        fun dims -> k * dims.(i)
+    | Mul (a, b) ->
+        let ca = go a and cb = go b in
+        fun dims -> ca dims * cb dims
+    | Floor_div (a, b) ->
+        let ca = go a and cb = go b in
+        fun dims ->
+          let y = cb dims in
+          if y = 0 then invalid_arg "Affine_expr.eval: division by zero"
+          else floordiv (ca dims) y
+    | Mod (a, b) ->
+        let ca = go a and cb = go b in
+        fun dims ->
+          let y = cb dims in
+          if y = 0 then invalid_arg "Affine_expr.eval: modulo by zero"
+          else floormod (ca dims) y
+  in
+  let e = simplify e in
+  match linearize e with
+  | Some { dim_coeffs = []; sym_coeffs = []; constant } -> fun _ -> constant
+  | Some { dim_coeffs = [ (d, 1) ]; sym_coeffs = []; constant = 0 } ->
+      fun dims -> dims.(d)
+  | Some { dim_coeffs = [ (d, k) ]; sym_coeffs = []; constant } ->
+      fun dims -> (k * dims.(d)) + constant
+  | Some { dim_coeffs = [ (d0, k0); (d1, k1) ]; sym_coeffs = []; constant } ->
+      fun dims -> (k0 * dims.(d0)) + (k1 * dims.(d1)) + constant
+  | _ -> go e
 
 let is_constant e =
   match simplify e with Const c -> Some c | _ -> None

@@ -122,6 +122,12 @@ let gflops config machine src ~flops =
   let report = time config machine src in
   M.Perf.gflops ~flops report
 
+let check_semantics ?(seed = 0) ?eps ?engine config src =
+  let reference = translate src in
+  let transformed = prepare config src in
+  let name = Core.func_name (sole_func reference) in
+  Interp.Eval.equivalent ?eps ?engine reference transformed name ~seed
+
 let compile_passes mode =
   match mode with
   | `Match_only ->

@@ -61,6 +61,20 @@ val time :
 val gflops :
   config -> Machine.Machine_model.t -> string -> flops:float -> float
 
+(** [check_semantics config src] — differential execution check: run the
+    untransformed kernel and the configuration's full pipeline output on
+    identical random inputs through the interpreter and compare every
+    buffer. The CLI's [--verify] and the test suite use this to pin each
+    pipeline to real execution semantics (not just the verifier's
+    structural invariants). *)
+val check_semantics :
+  ?seed:int ->
+  ?eps:float ->
+  ?engine:Interp.Eval.engine ->
+  config ->
+  string ->
+  bool
+
 (** {2 Compile-time measurement (§5.2 overhead experiment)}
 
     Wall-clock seconds to run the full lowering pipeline over the given

@@ -7,3 +7,6 @@ dune runtest
 # Smoke-run the micro benchmarks so rewrite-driver regressions (which the
 # unit tests may not exercise at scale) still fail the gate.
 dune exec bench/main.exe -- micro --quick
+# Smoke-run the interpreter-engine comparison: fails if the staged engine
+# and the tree-walking oracle ever disagree on a benchmark kernel.
+dune exec bench/main.exe -- interp --quick

@@ -7,6 +7,7 @@ let () =
       ("ir-parser", Test_parser.suite);
       ("met", Test_met.suite);
       ("interp", Test_interp.suite);
+      ("interp-compile", Test_interp_compile.suite);
       ("matchers", Test_matchers.suite);
       ("tdl", Test_tdl.suite);
       ("tc-frontend", Test_tc_frontend.suite);

@@ -30,6 +30,40 @@ let test_eval () =
   let md = E.(mod_ (dim 0) (const 4)) in
   Alcotest.(check int) "(-5) mod 4" 3 (E.eval ~dims:[| -5 |] ~syms:[||] md)
 
+let test_floor_semantics_sign_grid () =
+  (* floordiv rounds toward -inf and floormod carries the divisor's sign,
+     for every sign combination — including negative divisors, which the
+     pre-floor implementation got wrong. *)
+  let grid = [ (7, 2, 3, 1); (-7, 2, -4, 1); (7, -2, -4, -1);
+               (-7, -2, 3, -1); (6, 3, 2, 0); (-6, 3, -2, 0);
+               (6, -3, -2, 0); (-6, -3, 2, 0) ] in
+  List.iter
+    (fun (x, y, q, r) ->
+      Alcotest.(check int) (Printf.sprintf "floordiv %d %d" x y) q
+        (E.floordiv x y);
+      Alcotest.(check int) (Printf.sprintf "floormod %d %d" x y) r
+        (E.floormod x y);
+      Alcotest.(check int) "identity x = y*q + r" x ((y * q) + r);
+      (* Constant folding and eval agree with the reference arithmetic. *)
+      check_expr (Printf.sprintf "fold %d fdiv %d" x y) (string_of_int q)
+        E.(floor_div (const x) (const y));
+      check_expr (Printf.sprintf "fold %d mod %d" x y) (string_of_int r)
+        E.(mod_ (const x) (const y));
+      Alcotest.(check int) "eval fdiv" q
+        (E.eval ~dims:[| x |] ~syms:[||] E.(Floor_div (Dim 0, Const y)));
+      Alcotest.(check int) "eval mod" r
+        (E.eval ~dims:[| x |] ~syms:[||] E.(Mod (Dim 0, Const y))))
+    grid;
+  (* mod by +-1 is identically zero. *)
+  check_expr "d0 mod 1" "0" E.(mod_ (dim 0) (const 1));
+  check_expr "d0 mod -1" "0" E.(mod_ (dim 0) (const (-1)));
+  Alcotest.check_raises "fdiv by zero"
+    (Invalid_argument "Affine_expr.floordiv: division by zero") (fun () ->
+      ignore (E.floordiv 3 0));
+  Alcotest.check_raises "mod by zero"
+    (Invalid_argument "Affine_expr.floormod: modulo by zero") (fun () ->
+      ignore (E.floormod 3 0))
+
 let test_single_dim () =
   let check msg e expected =
     Alcotest.(check (option (triple int int int))) msg expected (E.is_single_dim e)
@@ -122,11 +156,33 @@ let prop_linearize_agrees =
           let dims = [| a; b; c |] in
           E.eval ~dims ~syms:[||] (E.of_linear l) = E.eval ~dims ~syms:[||] e)
 
+let prop_compile_agrees_with_eval =
+  QCheck.Test.make ~name:"staged compile agrees with eval" ~count:500
+    (QCheck.pair arb_expr
+       (QCheck.triple QCheck.small_nat QCheck.small_nat QCheck.small_nat))
+    (fun (e, (a, b, c)) ->
+      let dims = [| a; b; c |] in
+      E.compile e dims = E.eval ~dims ~syms:[||] e)
+
+let prop_map_compile_agrees_with_eval =
+  QCheck.Test.make ~name:"staged map compile agrees with map eval" ~count:200
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 4) arb_expr)
+       (QCheck.triple QCheck.small_nat QCheck.small_nat QCheck.small_nat))
+    (fun (exprs, (a, b, c)) ->
+      let m = M.make ~n_dims:3 exprs in
+      let dims = [| a; b; c |] in
+      let out = Array.make (List.length exprs) 0 in
+      M.compile m dims out;
+      out = M.eval m ~dims ())
+
 let suite =
   [
     Alcotest.test_case "simplify constants" `Quick test_simplify_constants;
     Alcotest.test_case "simplify linear" `Quick test_simplify_linear;
     Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "floor div/mod sign grid" `Quick
+      test_floor_semantics_sign_grid;
     Alcotest.test_case "is_single_dim" `Quick test_single_dim;
     Alcotest.test_case "used dims" `Quick test_used_dims;
     Alcotest.test_case "map identity/compose" `Quick test_map_identity_compose;
@@ -135,4 +191,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_simplify_idempotent;
     QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
     QCheck_alcotest.to_alcotest prop_linearize_agrees;
+    QCheck_alcotest.to_alcotest prop_compile_agrees_with_eval;
+    QCheck_alcotest.to_alcotest prop_map_compile_agrees_with_eval;
   ]

@@ -177,6 +177,121 @@ let test_interp_affine_bound_no_results () =
     Alcotest.(check bool) "mentions the bound map" true
       (Astring_contains.contains msg "bound map")
 
+let expect_iter_args_error engine f =
+  try
+    Interp.Eval.run_func ~engine f [];
+    Alcotest.fail "expected an iter_args error"
+  with Interp.Eval.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Interp.Rt.engine_name engine ^ " names iter_args")
+      true
+      (Astring_contains.contains msg "iter_args")
+
+let test_interp_affine_for_iter_args_diagnosed () =
+  (* A loop with results (loop-carried iter_args) is unsupported; both
+     engines must say so eagerly at the loop op instead of failing later
+     with a misleading "no runtime binding". *)
+  let f = Ir.Core.create_func ~name:"f" ~arg_types:[] () in
+  let body = Ir.Core.create_block [ Ir.Typ.Index ] in
+  Ir.Core.append_op body (Ir.Core.create_op "affine.yield");
+  let loop =
+    Ir.Core.create_op "affine.for" ~result_types:[ Ir.Typ.F32 ]
+      ~attrs:
+        [
+          ("lower_bound", Ir.Attr.Map (Ir.Affine_map.constant_map [ 0 ]));
+          ("upper_bound", Ir.Attr.Map (Ir.Affine_map.constant_map [ 4 ]));
+          ("step", Ir.Attr.Int 1);
+        ]
+      ~regions:[ Ir.Core.create_region [ body ] ]
+  in
+  Ir.Core.append_op (Ir.Core.func_entry f) loop;
+  expect_iter_args_error Interp.Eval.Walk f;
+  expect_iter_args_error Interp.Eval.Compiled f
+
+let test_interp_scf_for_iter_args_diagnosed () =
+  (* Same diagnosis for scf.for carrying an extra block argument. *)
+  let f = Ir.Core.create_func ~name:"f" ~arg_types:[] () in
+  let b = Ir.Builder.at_end (Ir.Core.func_entry f) in
+  let c0 = Std_dialect.Arith.constant_index b 0 in
+  let c4 = Std_dialect.Arith.constant_index b 4 in
+  let c1 = Std_dialect.Arith.constant_index b 1 in
+  let body = Ir.Core.create_block [ Ir.Typ.Index; Ir.Typ.F32 ] in
+  Ir.Core.append_op body (Ir.Core.create_op "scf.yield");
+  let loop =
+    Ir.Core.create_op "scf.for" ~operands:[ c0; c4; c1 ]
+      ~regions:[ Ir.Core.create_region [ body ] ]
+  in
+  Ir.Core.append_op (Ir.Core.func_entry f) loop;
+  expect_iter_args_error Interp.Eval.Walk f;
+  expect_iter_args_error Interp.Eval.Compiled f
+
+let test_interp_signed_div_rem () =
+  (* Floor-division semantics on the full sign grid, on both engines:
+     quotient rounds toward -inf, remainder carries the divisor's sign
+     (consistent with affine Mod/Floor_div, so raise_scf/lower_affine
+     round-trips preserve semantics for negative operands). *)
+  let cases = [ (7, 2, 3., 1.); (-7, 2, -4., 1.); (7, -2, -4., -1.);
+                (-7, -2, 3., -1.) ] in
+  let f =
+    Ir.Core.create_func ~name:"sg"
+      ~arg_types:[ Ir.Typ.memref [ 8 ] Ir.Typ.F32 ]
+      ()
+  in
+  let a = List.hd (Ir.Core.func_args f) in
+  let b = Ir.Builder.at_end (Ir.Core.func_entry f) in
+  List.iteri
+    (fun i (x, y, _, _) ->
+      let vx = Std_dialect.Arith.constant_int b x in
+      let vy = Std_dialect.Arith.constant_int b y in
+      let d = Std_dialect.Arith.floordivsi b vx vy in
+      let r = Std_dialect.Arith.remsi b vx vy in
+      let id = Std_dialect.Arith.constant_index b (2 * i) in
+      let ir = Std_dialect.Arith.constant_index b ((2 * i) + 1) in
+      ignore (Std_dialect.Memref_ops.store b d a [ id ]);
+      ignore (Std_dialect.Memref_ops.store b r a [ ir ]))
+    cases;
+  List.iter
+    (fun engine ->
+      let buf = B.create [ 8 ] in
+      Interp.Eval.run_func ~engine f [ buf ];
+      List.iteri
+        (fun i (x, y, ed, er) ->
+          let tag op =
+            Printf.sprintf "%s: %d %s %d" (Interp.Rt.engine_name engine) x op y
+          in
+          Alcotest.(check (float 0.)) (tag "floordiv") ed
+            (B.get buf [| 2 * i |]);
+          Alcotest.(check (float 0.)) (tag "rem") er
+            (B.get buf [| (2 * i) + 1 |]))
+        cases)
+    [ Interp.Eval.Walk; Interp.Eval.Compiled ]
+
+let test_interp_div_rem_by_zero () =
+  List.iter
+    (fun mk ->
+      let f =
+        Ir.Core.create_func ~name:"z"
+          ~arg_types:[ Ir.Typ.memref [ 1 ] Ir.Typ.F32 ]
+          ()
+      in
+      let a = List.hd (Ir.Core.func_args f) in
+      let b = Ir.Builder.at_end (Ir.Core.func_entry f) in
+      let vx = Std_dialect.Arith.constant_int b 5 in
+      let vz = Std_dialect.Arith.constant_int b 0 in
+      let v = mk b vx vz in
+      let c0 = Std_dialect.Arith.constant_index b 0 in
+      ignore (Std_dialect.Memref_ops.store b v a [ c0 ]);
+      List.iter
+        (fun engine ->
+          try
+            Interp.Eval.run_func ~engine f [ B.create [ 1 ] ];
+            Alcotest.fail "expected a division-by-zero error"
+          with Interp.Eval.Runtime_error msg ->
+            Alcotest.(check bool) "mentions zero" true
+              (Astring_contains.contains msg "zero"))
+        [ Interp.Eval.Walk; Interp.Eval.Compiled ])
+    [ Std_dialect.Arith.floordivsi; Std_dialect.Arith.remsi ]
+
 let test_interp_errors () =
   let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
   (* Wrong arity *)
@@ -216,4 +331,12 @@ let suite =
       test_interp_affine_for_step_guard;
     Alcotest.test_case "affine bound map with no results fails cleanly"
       `Quick test_interp_affine_bound_no_results;
+    Alcotest.test_case "affine.for iter_args diagnosed eagerly" `Quick
+      test_interp_affine_for_iter_args_diagnosed;
+    Alcotest.test_case "scf.for iter_args diagnosed eagerly" `Quick
+      test_interp_scf_for_iter_args_diagnosed;
+    Alcotest.test_case "signed floordiv/rem sign grid (both engines)" `Quick
+      test_interp_signed_div_rem;
+    Alcotest.test_case "div/rem by zero raise cleanly (both engines)" `Quick
+      test_interp_div_rem_by_zero;
   ]
