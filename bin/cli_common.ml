@@ -1,0 +1,73 @@
+(* Flag definitions shared by mlt-opt and mlt-sim, so the two drivers
+   spell their common surface identically (--interp, --verify-exec,
+   --timing, --pass-stats). *)
+
+open Cmdliner
+
+let read_file = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let interp_engine =
+  Arg.(
+    value
+    & opt
+        (enum [ ("compiled", Interp.Rt.Compiled); ("walk", Interp.Rt.Walk) ])
+        Interp.Rt.Compiled
+    & info [ "interp" ] ~docv:"ENGINE"
+        ~doc:
+          "Interpreter execution engine for the execution checks: \
+           'compiled' (staged closures, default) or 'walk' (the \
+           tree-walking oracle). See docs/INTERP.md.")
+
+(* The canonical differential-execution flag. [deprecated] lists stale
+   spellings kept as aliases; using one still works but warns on stderr. *)
+let verify_exec ?(deprecated = []) () =
+  let canonical =
+    Arg.(
+      value & flag
+      & info [ "verify-exec" ]
+          ~doc:
+            "Differential execution check: interpret every function before \
+             and after the pipeline on identical random inputs and fail if \
+             any output buffer differs.")
+  in
+  match deprecated with
+  | [] -> canonical
+  | aliases ->
+      let alias_flags =
+        List.map
+          (fun name ->
+            Arg.(
+              value & flag
+              & info [ name ]
+                  ~doc:(Printf.sprintf "Deprecated alias of --verify-exec.")))
+          aliases
+      in
+      List.fold_left2
+        (fun acc flag_name alias ->
+          let merge acc_v used =
+            if used then
+              Printf.eprintf "warning: --%s is deprecated; use --verify-exec\n%!"
+                flag_name;
+            acc_v || used
+          in
+          Term.(const merge $ acc $ alias))
+        canonical aliases alias_flags
+
+let timing =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:
+          "Print a per-pass table: seconds, op counts before/after, and \
+           pattern match/rewrite counters (with per-pattern sub-rows).")
+
+let pass_stats =
+  Arg.(
+    value & flag
+    & info [ "pass-stats" ]
+        ~doc:
+          "Print the per-pass statistics as one JSON object, including \
+           per-pattern attempt/hit counters (schema in \
+           docs/OBSERVABILITY.md).")

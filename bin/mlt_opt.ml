@@ -14,9 +14,7 @@
 open Cmdliner
 module T = Transforms
 
-let read_file = function
-  | "-" -> In_channel.input_all In_channel.stdin
-  | path -> In_channel.with_open_text path In_channel.input_all
+let read_file = Cli_common.read_file
 
 let list_ops () =
   (* Force registration of every dialect, then dump the registry. *)
@@ -180,24 +178,10 @@ let cmd =
     $ flag [ "lower-affine" ] "Lower the affine dialect to SCF + memref."
     $ flag [ "dce" ] "Dead-code (and dead-buffer) elimination."
     $ flag [ "verify-each" ] "Verify the IR after every pass."
-    $ flag [ "verify-exec" ]
-        "Differential execution check: interpret every function before and \
-         after the pipeline on identical random inputs and fail if any \
-         output buffer differs."
-    $ Arg.(value
-           & opt (enum [ ("compiled", Interp.Rt.Compiled);
-                         ("walk", Interp.Rt.Walk) ])
-               Interp.Rt.Compiled
-           & info [ "interp" ] ~docv:"ENGINE"
-               ~doc:"Interpreter execution engine for --verify-exec: \
-                     'compiled' (staged closures, default) or 'walk' (the \
-                     tree-walking oracle).")
-    $ flag [ "timing" ]
-        "Print a per-pass table: seconds, op counts before/after, and \
-         pattern match/rewrite counters."
-    $ flag [ "pass-stats" ]
-        "Print the per-pass statistics as one JSON object (schema in \
-         docs/OBSERVABILITY.md)."
+    $ Cli_common.verify_exec ()
+    $ Cli_common.interp_engine
+    $ Cli_common.timing
+    $ Cli_common.pass_stats
     $ flag [ "print-ir-after-all" ] "Print the IR after every pass."
     $ Arg.(value & opt_all string []
            & info [ "print-ir-after" ] ~docv:"PASS"

@@ -100,31 +100,14 @@ let cmd =
       $ Arg.(value & opt (some float) None
              & info [ "flops" ] ~docv:"N"
                  ~doc:"Mathematical flop count, to report GFLOPS.")
-      $ Arg.(value
-             & opt (enum [ ("compiled", Interp.Rt.Compiled);
-                           ("walk", Interp.Rt.Walk) ])
-                 Interp.Rt.Compiled
-             & info [ "interp" ] ~docv:"ENGINE"
-                 ~doc:"Interpreter engine for --execute/--verify: 'compiled' \
-                       (staged closures, default) or 'walk' (tree-walking \
-                       oracle).")
+      $ Cli_common.interp_engine
       $ Arg.(value & flag
              & info [ "execute" ]
                  ~doc:"Actually interpret the prepared kernel on random \
                        inputs (wall-clock), in addition to the simulation.")
-      $ Arg.(value & flag
-             & info [ "verify" ]
-                 ~doc:"Differential execution check: interpret the kernel \
-                       before and after the pipeline on identical random \
-                       inputs and fail if any output buffer differs.")
-      $ Arg.(value & flag
-             & info [ "timing" ]
-                 ~doc:"Print a per-pass table for the compilation pipeline \
-                       (wall-clock, op counts, match/rewrite counters).")
-      $ Arg.(value & flag
-             & info [ "pass-stats" ]
-                 ~doc:"Print the per-pass statistics as one JSON object \
-                       (schema in docs/OBSERVABILITY.md)."))
+      $ Cli_common.verify_exec ~deprecated:[ "verify" ] ()
+      $ Cli_common.timing
+      $ Cli_common.pass_stats)
   in
   Cmd.v
     (Cmd.info "mlt-sim" ~version:"1.0"

@@ -35,7 +35,7 @@ let () =
 
   let m = Met.Emit_affine.translate kernel in
   let reference = Met.Emit_affine.translate kernel in
-  let n = Ir.Rewriter.apply_greedily m [ Tdl.Backend.compile tds ] in
+  let n = Ir.Rewriter.apply_greedily m (Ir.Rewriter.freeze [ Tdl.Backend.compile tds ]) in
   Printf.printf "\n--- 3. After raising (%d site) ---\n" n;
   print_endline (Ir.Printer.op_to_string m);
 
@@ -56,7 +56,7 @@ void atb(float A[48][40], float B[48][56], float C[40][56]) {
 |}
   in
   let m2 = Met.Emit_affine.translate permuted in
-  let n2 = Ir.Rewriter.apply_greedily m2 [ Tdl.Backend.compile tds ] in
+  let n2 = Ir.Rewriter.apply_greedily m2 (Ir.Rewriter.freeze [ Tdl.Backend.compile tds ]) in
   Printf.printf
     "--- 5. Same tactic on permuted loops and commuted operands: %d site ---\n"
     n2

@@ -28,7 +28,7 @@ let () =
 
   let m = Met.Emit_affine.translate src in
   let reference = Met.Emit_affine.translate src in
-  let patterns = [ Tdl.Backend.compile tds ] in
+  let patterns = Ir.Rewriter.freeze [ Tdl.Backend.compile tds ] in
   let n = Ir.Rewriter.apply_greedily m patterns in
   Printf.printf "\n--- 4. After applying the tactic (%d match) ---\n" n;
   print_endline (Ir.Printer.op_to_string m);

@@ -250,6 +250,9 @@ let rec walk_post root f =
 
 let rec walk_safe root f =
   f root;
+  walk_safe_children root f
+
+and walk_safe_children root f =
   Array.iter
     (fun r ->
       List.iter
@@ -258,7 +261,14 @@ let rec walk_safe root f =
           List.iter
             (fun op ->
               (* Skip ops detached by earlier callbacks in this sweep. *)
-              if op.o_parent != None then walk_safe op f)
+              if op.o_parent != None then begin
+                f op;
+                (* [f] may have detached [op] itself (a rewrite consuming
+                   the whole nest); its descendants still carry parents
+                   inside the detached subtree, so re-check before
+                   descending into erased IR. *)
+                if op.o_parent != None then walk_safe_children op f
+              end)
             snapshot)
         r.r_blocks)
     root.o_regions

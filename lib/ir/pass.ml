@@ -10,7 +10,35 @@ type timing = {
   match_attempts : int;
   rewrites : int;
   depth : int;
+  pattern_stats : Rewriter.pattern_stat list;
 }
+
+(* Per-pattern deltas between two [Rewriter.pattern_totals] snapshots,
+   keeping only the patterns that participated in this pass (activated,
+   attempted, or applied). Counters are monotonic, so every [before] row
+   is present in [after]. *)
+let pattern_delta before after =
+  let prior = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Rewriter.pattern_stat) -> Hashtbl.replace prior s.ps_name s)
+    before;
+  List.filter_map
+    (fun (s : Rewriter.pattern_stat) ->
+      let d =
+        match Hashtbl.find_opt prior s.ps_name with
+        | None -> s
+        | Some p ->
+            {
+              s with
+              ps_attempts = s.ps_attempts - p.ps_attempts;
+              ps_hits = s.ps_hits - p.ps_hits;
+              ps_activations = s.ps_activations - p.ps_activations;
+            }
+      in
+      if d.ps_attempts > 0 || d.ps_hits > 0 || d.ps_activations > 0 then
+        Some d
+      else None)
+    after
 
 type snapshot_policy = No_snapshots | After_all | After_named of string list
 
@@ -53,6 +81,7 @@ let wants_snapshot m name =
 let timed m ~name ~depth root body =
   let ops_before = count_ops root in
   let attempts0, rewrites0 = Rewriter.counter_totals () in
+  let patterns0 = Rewriter.pattern_totals () in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
@@ -67,6 +96,7 @@ let timed m ~name ~depth root body =
           match_attempts = attempts1 - attempts0;
           rewrites = rewrites1 - rewrites0;
           depth;
+          pattern_stats = pattern_delta patterns0 (Rewriter.pattern_totals ());
         }
         :: m.recorded)
     body
@@ -112,7 +142,28 @@ type summary = {
   s_match_attempts : int;
   s_rewrites : int;
   s_ops_delta : int;
+  s_patterns : Rewriter.pattern_stat list;
 }
+
+(* Merge per-run pattern rows by name, keeping first-appearance order. *)
+let merge_pattern_stats acc ps =
+  List.fold_left
+    (fun acc (p : Rewriter.pattern_stat) ->
+      let rec go = function
+        | [] -> [ p ]
+        | (s : Rewriter.pattern_stat) :: rest
+          when String.equal s.ps_name p.ps_name ->
+            {
+              s with
+              ps_attempts = s.ps_attempts + p.ps_attempts;
+              ps_hits = s.ps_hits + p.ps_hits;
+              ps_activations = s.ps_activations + p.ps_activations;
+            }
+            :: rest
+        | s :: rest -> s :: go rest
+      in
+      go acc)
+    acc ps
 
 let summarize m =
   (* Aggregate by qualified name, keeping first-appearance order. *)
@@ -125,6 +176,7 @@ let summarize m =
         s_match_attempts = s.s_match_attempts + t.match_attempts;
         s_rewrites = s.s_rewrites + t.rewrites;
         s_ops_delta = s.s_ops_delta + t.ops_after - t.ops_before;
+        s_patterns = merge_pattern_stats s.s_patterns t.pattern_stats;
       }
     in
     let rec go = function
@@ -138,6 +190,7 @@ let summarize m =
                 s_match_attempts = 0;
                 s_rewrites = 0;
                 s_ops_delta = 0;
+                s_patterns = [];
               };
           ]
       | s :: rest when String.equal s.s_name t.pass_name -> bump s :: rest
@@ -160,7 +213,13 @@ let report_table m =
       Buffer.add_string buf
         (Printf.sprintf "%-40s %12.6f %8d %8d %9d %9d\n"
            (indent ^ t.pass_name) t.seconds t.ops_before t.ops_after
-           t.match_attempts t.rewrites))
+           t.match_attempts t.rewrites);
+      List.iter
+        (fun (p : Rewriter.pattern_stat) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s %12s %8s %8s %9d %9d\n"
+               (indent ^ "  . " ^ p.ps_name) "" "" "" p.ps_attempts p.ps_hits))
+        t.pattern_stats)
     (timings m);
   Buffer.add_string buf
     (Printf.sprintf "%-40s %12.6f\n" "total" (total_seconds m));
@@ -175,7 +234,14 @@ let summary_table m =
     (fun s ->
       Buffer.add_string buf
         (Printf.sprintf "%-40s %6d %12.6f %9d %9d %+9d\n" s.s_name s.s_runs
-           s.s_seconds s.s_match_attempts s.s_rewrites s.s_ops_delta))
+           s.s_seconds s.s_match_attempts s.s_rewrites s.s_ops_delta);
+      List.iter
+        (fun (p : Rewriter.pattern_stat) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s %6d %12s %9d %9d %9s\n"
+               ("  . " ^ p.ps_name) p.ps_activations "" p.ps_attempts
+               p.ps_hits ""))
+        s.s_patterns)
     (summarize m);
   Buffer.contents buf
 
@@ -200,6 +266,15 @@ let json_of_fields fields =
 
 let json_array items = "[" ^ String.concat "," items ^ "]"
 
+let pattern_stat_json (p : Rewriter.pattern_stat) =
+  json_of_fields
+    [
+      ("name", "\"" ^ json_escape p.ps_name ^ "\"");
+      ("attempts", string_of_int p.ps_attempts);
+      ("hits", string_of_int p.ps_hits);
+      ("activations", string_of_int p.ps_activations);
+    ]
+
 let timing_json (t : timing) =
   json_of_fields
     [
@@ -210,6 +285,7 @@ let timing_json (t : timing) =
       ("match_attempts", string_of_int t.match_attempts);
       ("rewrites", string_of_int t.rewrites);
       ("depth", string_of_int t.depth);
+      ("patterns", json_array (List.map pattern_stat_json t.pattern_stats));
     ]
 
 let report_json m =
@@ -229,6 +305,7 @@ let summary_json m =
         ("match_attempts", string_of_int s.s_match_attempts);
         ("rewrites", string_of_int s.s_rewrites);
         ("ops_delta", string_of_int s.s_ops_delta);
+        ("patterns", json_array (List.map pattern_stat_json s.s_patterns));
       ]
   in
   json_of_fields

@@ -22,6 +22,12 @@ type timing = {
       (** Pattern [p_apply] invocations during this pass. *)
   rewrites : int;  (** Successful pattern applications during this pass. *)
   depth : int;  (** Nesting depth: 0 for top-level passes. *)
+  pattern_stats : Rewriter.pattern_stat list;
+      (** Per-pattern attempt/hit/activation deltas for this pass,
+          restricted to the patterns that participated (a pattern counts
+          as participating — [activations] — whenever a driver ran with it
+          in the frozen set, even if op-indexed dispatch never attempted
+          it, so every registered tactic of a raising pass is listed). *)
 }
 
 (** Which passes trigger an IR snapshot to the manager's sink after they
@@ -82,6 +88,8 @@ type summary = {
   s_match_attempts : int;
   s_rewrites : int;
   s_ops_delta : int;  (** Sum of [ops_after - ops_before] over runs. *)
+  s_patterns : Rewriter.pattern_stat list;
+      (** Per-pattern deltas summed over runs, first-appearance order. *)
 }
 
 val summarize : manager -> summary list
@@ -97,7 +105,8 @@ val report_table : manager -> string
 (** Per-entry JSON:
     [{"total_seconds":s,"passes":[{"name":...,"seconds":...,
     "ops_before":...,"ops_after":...,"match_attempts":...,
-    "rewrites":...,"depth":...}, ...]}]. *)
+    "rewrites":...,"depth":...,"patterns":[{"name":...,"attempts":...,
+    "hits":...,"activations":...}, ...]}, ...]}]. *)
 val report_json : manager -> string
 
 (** Aggregated variants of the two reports (one row per pass). *)

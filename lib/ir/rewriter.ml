@@ -1,13 +1,65 @@
 type ctx = { root : Core.op; builder : Builder.t }
 
+type roots = Any | Roots of string list
+
+type stats = {
+  mutable st_attempts : int;
+  mutable st_hits : int;
+  mutable st_activations : int;
+}
+
 type pattern = {
   p_name : string;
   p_benefit : int;
+  p_roots : roots;
+  p_generated_ops : string list;
+  p_stats : stats;
   p_apply : ctx -> Core.op -> bool;
 }
 
-let pattern ~name ?(benefit = 1) apply =
-  { p_name = name; p_benefit = benefit; p_apply = apply }
+(* Counters are keyed by pattern name so re-compiling a set (tactics are
+   compiled fresh per pass construction) keeps accumulating into the same
+   row; registration order is preserved for the reports. *)
+let stats_registry : (string, stats) Hashtbl.t = Hashtbl.create 64
+let stats_order : string list ref = ref [] (* reverse registration order *)
+
+let stats_for name =
+  match Hashtbl.find_opt stats_registry name with
+  | Some s -> s
+  | None ->
+      let s = { st_attempts = 0; st_hits = 0; st_activations = 0 } in
+      Hashtbl.replace stats_registry name s;
+      stats_order := name :: !stats_order;
+      s
+
+type pattern_stat = {
+  ps_name : string;
+  ps_attempts : int;
+  ps_hits : int;
+  ps_activations : int;
+}
+
+let pattern_totals () =
+  List.rev_map
+    (fun name ->
+      let s = Hashtbl.find stats_registry name in
+      {
+        ps_name = name;
+        ps_attempts = s.st_attempts;
+        ps_hits = s.st_hits;
+        ps_activations = s.st_activations;
+      })
+    !stats_order
+
+let pattern ~name ?(benefit = 1) ?(roots = Any) ?(generated_ops = []) apply =
+  {
+    p_name = name;
+    p_benefit = benefit;
+    p_roots = roots;
+    p_generated_ops = generated_ops;
+    p_stats = stats_for name;
+    p_apply = apply;
+  }
 
 let max_iterations = 10_000
 
@@ -19,15 +71,81 @@ let counter_totals () = (!total_match_attempts, !total_rewrites)
 
 let try_apply p ctx op =
   incr total_match_attempts;
+  p.p_stats.st_attempts <- p.p_stats.st_attempts + 1;
   let applied = p.p_apply ctx op in
-  if applied then incr total_rewrites;
+  if applied then begin
+    incr total_rewrites;
+    p.p_stats.st_hits <- p.p_stats.st_hits + 1
+  end;
   applied
 
+(* Stable: equal-benefit patterns keep their registration order, which is
+   what makes greedy application deterministic across driver variants. *)
 let sort_by_benefit patterns =
   List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
 
-let apply_greedily root patterns =
-  let patterns = sort_by_benefit patterns in
+module Frozen = struct
+  type t = {
+    f_patterns : pattern list;  (** benefit-sorted *)
+    f_index : (string, pattern list) Hashtbl.t;
+        (** root name -> benefit-sorted candidates (Any merged in) *)
+    f_any : pattern list;  (** fallback for names with no declared root *)
+  }
+
+  let of_patterns ps =
+    let sorted = sort_by_benefit ps in
+    let is_any p = match p.p_roots with Any -> true | Roots _ -> false in
+    let any = List.filter is_any sorted in
+    let root_names =
+      List.concat_map
+        (fun p -> match p.p_roots with Any -> [] | Roots names -> names)
+        sorted
+      |> List.sort_uniq String.compare
+    in
+    let index = Hashtbl.create (List.length root_names * 2) in
+    List.iter
+      (fun name ->
+        (* Filtering the globally sorted list preserves benefit order and
+           registration-order tie-breaking inside each candidate list. *)
+        let candidates =
+          List.filter
+            (fun p ->
+              match p.p_roots with
+              | Any -> true
+              | Roots names -> List.mem name names)
+            sorted
+        in
+        Hashtbl.replace index name candidates)
+      root_names;
+    { f_patterns = sorted; f_index = index; f_any = any }
+
+  let patterns t = t.f_patterns
+
+  let candidates t op_name =
+    match Hashtbl.find_opt t.f_index op_name with
+    | Some l -> l
+    | None -> t.f_any
+
+  let relax t = of_patterns (List.map (fun p -> { p with p_roots = Any }) t.f_patterns)
+
+  let size t = List.length t.f_patterns
+
+  let indexed_roots t =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.f_index []
+    |> List.sort String.compare
+end
+
+let freeze = Frozen.of_patterns
+
+(* Every pattern of the set participates in the driver run, whether or not
+   dispatch ever attempts it — the per-pass reports list them all. *)
+let activate (fz : Frozen.t) =
+  List.iter
+    (fun p -> p.p_stats.st_activations <- p.p_stats.st_activations + 1)
+    (Frozen.patterns fz)
+
+let apply_greedily root frozen =
+  activate frozen;
   (* LIFO worklist. Seeded post-order and popped from the top, the
      outermost ops come off first: a nest-consuming raising pattern fires
      on the outer loop before the driver wastes matcher work on the
@@ -98,7 +216,7 @@ let apply_greedily root patterns =
                   end
                   else try_patterns rest
           in
-          try_patterns patterns
+          try_patterns (Frozen.candidates frozen op.Core.o_name)
         end
       done);
   !applications
@@ -106,8 +224,8 @@ let apply_greedily root patterns =
 (* The pre-worklist driver: full sweep from the root restarted after every
    application. Kept as the differential-testing oracle for the worklist
    driver (see test/test_random.ml). *)
-let apply_greedily_fullsweep root patterns =
-  let patterns = sort_by_benefit patterns in
+let apply_greedily_fullsweep root frozen =
+  activate frozen;
   let applications = ref 0 in
   let progress = ref true in
   let iterations = ref 0 in
@@ -131,13 +249,13 @@ let apply_greedily_fullsweep root patterns =
                    if try_apply p ctx op then (
                      incr applications;
                      raise Applied))
-               patterns)
+               (Frozen.candidates frozen op.Core.o_name))
      with Applied -> progress := true)
   done;
   !applications
 
-let apply_sweeps root patterns =
-  let patterns = sort_by_benefit patterns in
+let apply_sweeps root frozen =
+  activate frozen;
   let applications = ref 0 in
   let progress = ref true in
   let sweeps = ref 0 in
@@ -157,7 +275,7 @@ let apply_sweeps root patterns =
                   incr applications;
                   progress := true
                 end)
-            patterns)
+            (Frozen.candidates frozen op.Core.o_name))
   done;
   !applications
 

@@ -1,6 +1,14 @@
-(** Pattern-rewriting infrastructure: declarative rewrite patterns applied
-    greedily to a fixpoint, in the style of MLIR's pattern rewriter that
-    Multi-Level Tactics hooks its generated tactics into. *)
+(** Pattern-rewriting infrastructure: first-class rewrite-pattern
+    descriptors applied greedily to a fixpoint, in the style of MLIR's
+    [RewritePatternSet] / [FrozenRewritePatternSet] pair that Multi-Level
+    Tactics hooks its generated tactics into.
+
+    A pattern is no longer an opaque closure: it declares the op names it
+    can match at ({!roots}), a benefit, and optionally the op names it
+    generates. Freezing a pattern list ({!Frozen.of_patterns}) sorts it
+    once by descending benefit and precomputes, per declared root name,
+    the candidate list — so the drivers dispatch O(candidates at this op
+    name) instead of O(all patterns) at every worklist visit. *)
 
 (** Handle passed to a pattern while it rewrites; insertion happens at the
     matched op by default. *)
@@ -9,52 +17,136 @@ type ctx = {
   builder : Builder.t;  (** positioned just before the matched op *)
 }
 
+(** Where a pattern can match. [Roots names] promises the pattern only
+    ever returns [true] on ops whose [o_name] is in [names] — the frozen
+    index uses this to skip the pattern everywhere else. [Any] makes the
+    pattern a candidate at every op (structural patterns that cannot name
+    a root). Declared roots must be conservative: the apply function
+    still guards on the op itself, so relaxing [Roots _] to [Any] never
+    changes the result, only the number of match attempts. *)
+type roots = Any | Roots of string list
+
+(** Per-pattern-name counters, shared by every pattern instance
+    constructed under the same name (process-wide, monotonic). *)
+type stats = {
+  mutable st_attempts : int;  (** [p_apply] invocations *)
+  mutable st_hits : int;  (** invocations that rewrote the IR *)
+  mutable st_activations : int;
+      (** driver runs that had the pattern in their frozen set *)
+}
+
 type pattern = {
   p_name : string;
   p_benefit : int;  (** higher applies first *)
+  p_roots : roots;
+  p_generated_ops : string list;
+      (** advisory: op names the rewrite may insert *)
+  p_stats : stats;
   p_apply : ctx -> Core.op -> bool;
       (** Inspect [op]; if it matches, mutate the IR (insert replacement
           ops via [ctx.builder], erase matched ops) and return [true]. *)
 }
 
+(** [pattern ~name ?benefit ?roots ?generated_ops apply] — [benefit]
+    defaults to 1, [roots] to [Any], [generated_ops] to []. Counters are
+    looked up (or created) by [name], so re-compiling a pattern set keeps
+    accumulating into the same per-name statistics. *)
 val pattern :
-  name:string -> ?benefit:int -> (ctx -> Core.op -> bool) -> pattern
+  name:string ->
+  ?benefit:int ->
+  ?roots:roots ->
+  ?generated_ops:string list ->
+  (ctx -> Core.op -> bool) ->
+  pattern
 
-(** [apply_greedily root patterns] applies the highest-benefit matching
+(** {2 Frozen pattern sets} *)
+
+module Frozen : sig
+  (** An immutable, op-indexed view of a pattern list: built once per
+      set (ideally at pass construction), reused across driver runs. *)
+  type t
+
+  (** Stable-sorts by descending benefit (ties keep registration order)
+      and indexes the benefit-sorted candidate list per declared root
+      name, with [Any]-rooted patterns merged into every list. *)
+  val of_patterns : pattern list -> t
+
+  (** All patterns, benefit-sorted. *)
+  val patterns : t -> pattern list
+
+  (** [candidates t op_name] — the benefit-sorted patterns that can match
+      an op named [op_name]: the indexed list for a declared root, or
+      just the [Any]-rooted patterns for any other name. *)
+  val candidates : t -> string -> pattern list
+
+  (** [relax t] forgets every root declaration (all patterns become
+      [Any]-rooted): the unindexed-dispatch baseline used by the bench
+      harness and the differential property tests. Rewriting behaviour is
+      identical by the {!roots} contract; only match-attempt counts
+      differ. *)
+  val relax : t -> t
+
+  (** Number of patterns in the set. *)
+  val size : t -> int
+
+  (** Root names with a precomputed candidate list (sorted). *)
+  val indexed_roots : t -> string list
+end
+
+(** [freeze ps] is {!Frozen.of_patterns}[ ps]. *)
+val freeze : pattern list -> Frozen.t
+
+(** {2 Drivers} *)
+
+(** [apply_greedily root frozen] applies the highest-benefit matching
     pattern per op to a fixpoint using a worklist: the queue is seeded
     with a post-order walk (nested ops before their nests), and each
     successful rewrite re-enqueues only the affected neighborhood —
     newly inserted ops, ops whose operands changed, the defining ops of
     an erased op's operands, and the enclosing-op chain of each (so
-    nest-level raising patterns see interior changes). Raises after a
-    safety bound of applications (diverging pattern set). Returns the
-    number of successful pattern applications. *)
-val apply_greedily : Core.op -> pattern list -> int
+    nest-level raising patterns see interior changes). Each visit tries
+    only [Frozen.candidates frozen op_name]. Raises after a safety bound
+    of applications (diverging pattern set). Returns the number of
+    successful pattern applications. *)
+val apply_greedily : Core.op -> Frozen.t -> int
 
-(** [apply_greedily_fullsweep root patterns] — the pre-worklist driver:
+(** [apply_greedily_fullsweep root frozen] — the pre-worklist driver:
     full sweep from the root, restarted after every application. Same
     fixpoints as {!apply_greedily} on confluent pattern sets; kept as
     the oracle for the differential property test and for debugging
     driver regressions. *)
-val apply_greedily_fullsweep : Core.op -> pattern list -> int
+val apply_greedily_fullsweep : Core.op -> Frozen.t -> int
 
-(** [apply_sweeps root patterns] applies patterns in full sweeps without
+(** [apply_sweeps root frozen] applies patterns in full sweeps without
     restarting after each application, iterating sweeps to a fixpoint —
     the efficient driver for exhaustive one-way conversions (dialect
     lowerings) where each op is rewritten at most once. Returns the
     number of applications. *)
-val apply_sweeps : Core.op -> pattern list -> int
+val apply_sweeps : Core.op -> Frozen.t -> int
 
 (** {2 Driver statistics}
 
-    Process-wide monotonic counters over both drivers: how many times a
-    pattern's [p_apply] was invoked (match attempts) and how many of those
-    invocations rewrote the IR. {!Pass.run} snapshots them around each
-    pass to attribute the work to individual passes. *)
+    Process-wide monotonic counters over all drivers, both in aggregate
+    and per pattern name. {!Pass.run} snapshots them around each pass to
+    attribute the work to individual passes. *)
 
 (** [counter_totals ()] is [(match_attempts, rewrites)] since process
     start. *)
 val counter_totals : unit -> int * int
+
+(** One per-name row of {!pattern_totals}. *)
+type pattern_stat = {
+  ps_name : string;
+  ps_attempts : int;
+  ps_hits : int;
+  ps_activations : int;
+}
+
+(** Per-pattern-name totals since process start, in first-registration
+    order. A pattern participates in a driver run ("activation") even if
+    op-indexed dispatch never attempted it — so 0-attempt tactics still
+    show up in the per-pass reports. *)
+val pattern_totals : unit -> pattern_stat list
 
 (** {2 Rewrite helpers} *)
 

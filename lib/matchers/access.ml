@@ -11,6 +11,7 @@ type ctx = {
   ph_assign : (int, Core.value) Hashtbl.t;  (** placeholder -> iv *)
   aph_assign : (int, Core.value) Hashtbl.t;  (** array ph -> memref *)
   mutable matched_const : float option;
+  mutable used : bool;  (* consumed by a match_block call *)
 }
 
 let create_ctx () =
@@ -20,12 +21,17 @@ let create_ctx () =
     ph_assign = Hashtbl.create 8;
     aph_assign = Hashtbl.create 8;
     matched_const = None;
+    used = false;
   }
 
 let reset ctx =
   Hashtbl.reset ctx.ph_assign;
   Hashtbl.reset ctx.aph_assign;
   ctx.matched_const <- None
+
+let reset_ctx ctx =
+  reset ctx;
+  ctx.used <- false
 
 let placeholder ctx =
   let id = ctx.next_ph in
@@ -354,6 +360,12 @@ let match_copy ctx ~out ~src (b : Core.block) =
   | _ -> false
 
 let match_block ctx pat b =
+  if ctx.used then
+    Support.Diag.errorf
+      "Access.match_block: ctx already consumed by an earlier match — \
+       solution bindings would be silently clobbered; create a fresh ctx \
+       or call reset_ctx first";
+  ctx.used <- true;
   reset ctx;
   let ok =
     try

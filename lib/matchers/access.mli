@@ -59,8 +59,15 @@ type stmt_pattern =
   | Copy of { out : access; src : access }  (** [out = src] *)
 
 (** [match_block ctx pat block] — on success the context holds the
-    solution; on failure the context is reset. *)
+    solution; on failure the context is reset. A ctx is single-use:
+    matching again with the same ctx raises (via [Support.Diag]) instead
+    of silently clobbering the previous solution's bindings — call
+    {!reset_ctx} (or create a fresh ctx) to match again. *)
 val match_block : ctx -> stmt_pattern -> Core.block -> bool
+
+(** Clear the solution state and the consumed flag so the ctx (and its
+    placeholders) can be used for another [match_block]. *)
+val reset_ctx : ctx -> unit
 
 (** {2 Reading the solution} (valid only after a successful match) *)
 

@@ -164,4 +164,4 @@ let count_gemm_callsites ?(delinearize = false) src =
     Core.walk m (fun op ->
         if Core.is_func op then ignore (T.Delinearize.run op));
   let pats = Tdl.Backend.compile_tdl Tdl.Frontend.gemm_tdl in
-  Rewriter.apply_greedily m pats
+  Rewriter.apply_greedily m (Rewriter.freeze pats)

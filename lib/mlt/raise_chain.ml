@@ -173,22 +173,37 @@ let rewrite_chain func chain =
     true
   end
 
-let reorder func =
-  (* Re-detect after each rewrite: erasures invalidate stored chains. *)
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    let chains = detect func in
-    match
-      List.find_opt (fun c -> rewrite_chain func c) chains
-    with
-    | Some _ ->
-        incr count;
-        progress := true
-    | None -> ()
-  done;
-  !count
+(* Chain reordering as a rewrite pattern rooted at the chain's head
+   matmul. Chains are re-detected at each attempt: erasures invalidate
+   stored chains, so nothing may be cached across rewrites. Terminates
+   because [rewrite_chain] refuses chains that are already optimally
+   associated. *)
+let pattern () =
+  Rewriter.pattern ~name:"reorder-matmul-chain"
+    ~roots:(Rewriter.Roots [ "linalg.matmul" ])
+    ~generated_ops:[ "linalg.matmul"; "linalg.fill"; "memref.alloc" ]
+    (fun _ctx op ->
+      if not (L.is_matmul op) then false
+      else
+        let rec enclosing_func o =
+          match Core.parent_op o with
+          | Some p -> if Core.is_func p then Some p else enclosing_func p
+          | None -> None
+        in
+        match enclosing_func op with
+        | None -> false
+        | Some func -> (
+            match
+              List.find_opt
+                (fun c -> Core.op_equal (List.hd c.matmuls) op)
+                (detect func)
+            with
+            | Some chain -> rewrite_chain func chain
+            | None -> false))
+
+let frozen = lazy (Rewriter.freeze [ pattern () ])
+
+let reorder func = Rewriter.apply_greedily func (Lazy.force frozen)
 
 let pass = Pass.make ~name:"reorder-matmul-chains" (fun root ->
     Core.walk root (fun op -> if Core.is_func op then ignore (reorder op)))

@@ -41,7 +41,10 @@ let normalized_loop loop =
   && (match A.for_const_bounds loop with Some (0, _) -> true | _ -> false)
 
 let fill_pattern () =
-  Rewriter.pattern ~name:"raise-fill" (fun ctx op ->
+  Rewriter.pattern ~name:"raise-fill"
+    ~roots:(Rewriter.Roots [ "affine.for" ])
+    ~generated_ops:[ "linalg.fill" ]
+    (fun ctx op ->
       match
         if A.is_for op then Some (Affine.Loops.perfect_nest op) else None
       with
@@ -83,19 +86,22 @@ let fill_pattern () =
 
 let all () = (fill_pattern () :: standard ()) @ paper_contractions ()
 
-let raise_to_linalg root = Rewriter.apply_greedily root (all ())
+let raise_to_linalg root = Rewriter.apply_greedily root (Rewriter.freeze (all ()))
 
 let raise_to_affine_matmul root =
   let pats =
     Tdl.Backend.compile_tdl ~target:Tdl.Backend.To_affine_matmul
       Tdl.Frontend.gemm_tdl
   in
-  Rewriter.apply_greedily root pats
+  Rewriter.apply_greedily root (Rewriter.freeze pats)
 
 let raise_to_linalg_pass ?patterns () =
-  let pats = match patterns with Some ps -> ps | None -> all () in
+  (* Freeze once at pass construction; every run reuses the index. *)
+  let frozen =
+    Rewriter.freeze (match patterns with Some ps -> ps | None -> all ())
+  in
   Pass.make ~name:"raise-affine-to-linalg" (fun root ->
-      ignore (Rewriter.apply_greedily root pats))
+      ignore (Rewriter.apply_greedily root frozen))
 
 let raise_to_affine_matmul_pass () =
   Pass.make ~name:"raise-affine-to-affine" (fun root ->

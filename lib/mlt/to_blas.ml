@@ -37,8 +37,33 @@ let convert (ctx : Rewriter.ctx) (op : Core.op) =
   if converted then Core.erase_op op;
   converted
 
-let patterns () = [ Rewriter.pattern ~name:"linalg-to-blas" convert ]
+let patterns () =
+  [
+    Rewriter.pattern ~name:"linalg-to-blas"
+      ~roots:
+        (Rewriter.Roots
+           [
+             "linalg.matmul";
+             "linalg.matvec";
+             "linalg.transpose";
+             "linalg.reshape";
+             "linalg.conv2d_nchw";
+             (* Not convertible, but must stay a dispatch root so the
+                diagnostic above still fires under indexed dispatch. *)
+             "linalg.contract";
+           ])
+      ~generated_ops:
+        [
+          "blas.sgemm";
+          "blas.sgemv";
+          "blas.stranspose";
+          "blas.sreshape_copy";
+          "blas.sconv2d";
+        ]
+      convert;
+  ]
 
-let run root = Rewriter.apply_sweeps root (patterns ())
+let frozen = Rewriter.freeze (patterns ())
+let run root = Rewriter.apply_sweeps root frozen
 
 let pass = Pass.make ~name:"convert-linalg-to-blas" (fun root -> ignore (run root))

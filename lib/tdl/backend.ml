@@ -248,7 +248,23 @@ let compile ?(target = To_linalg) (t : Tds.tactic) =
           true
         end
   in
-  Rewriter.pattern ~name:t.name apply
+  let generated_of_builder = function
+    | Tds.Transpose _ -> "linalg.transpose"
+    | Tds.Reshape _ -> "linalg.reshape"
+    | Tds.Matmul _ -> (
+        match target with
+        | To_linalg -> "linalg.matmul"
+        | To_affine_matmul -> "affine.matmul")
+    | Tds.Matvec _ -> "linalg.matvec"
+    | Tds.Conv2d _ -> "linalg.conv2d_nchw"
+    | Tds.Fill _ -> "linalg.fill"
+  in
+  let generated_ops =
+    List.sort_uniq String.compare
+      ("memref.alloc" :: List.map generated_of_builder t.builders)
+  in
+  Rewriter.pattern ~name:t.name ~roots:(Rewriter.Roots t.roots) ~generated_ops
+    apply
 
 let compile_tdl ?target src =
   List.map (compile ?target) (Frontend.lower_source src)

@@ -361,7 +361,13 @@ let lower (t : tactic) =
   let st = { fresh = 0; steps = [] } in
   (if t.t_builder = [] then synthesize st ~out ~in1 ~in2
    else List.iter (lower_builder_stmt st) t.t_builder);
-  { Tds.name = t.t_name; pattern = t.t_pattern; builders = st.steps }
+  {
+    Tds.name = t.t_name;
+    pattern = t.t_pattern;
+    (* Every generated matcher anchors on a perfectly-nested loop nest. *)
+    roots = [ "affine.for" ];
+    builders = st.steps;
+  }
 
 let lower_source ?file src =
   List.map lower (Tdl_parser.parse ?file src)

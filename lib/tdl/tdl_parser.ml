@@ -84,8 +84,11 @@ let tokenize ~file src =
     | Some c when is_id c ->
         let l = loc () in
         let start = !pos in
+        (* '.' continues an identifier so dialect-qualified op names
+           (affine.for, linalg.matmul) in TDS Roots<[...]> clauses lex as
+           one token; TDL surface syntax itself never uses '.'. *)
         while (match peek 0 with
-               | Some c -> is_id c || is_digit c
+               | Some c -> is_id c || is_digit c || c = '.'
                | None -> false)
         do
           advance ()

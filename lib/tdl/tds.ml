@@ -12,6 +12,7 @@ type builder =
 type tactic = {
   name : string;
   pattern : Tdl_ast.stmt;
+  roots : string list;
   builders : builder list;
 }
 
@@ -68,8 +69,9 @@ let pp_builder fmt b =
         1000
 
 let pp fmt t =
-  Format.fprintf fmt "def %s : Tactic<%s, [\n" t.name
-    (Tdl_ast.stmt_to_string t.pattern);
+  Format.fprintf fmt "def %s : Tactic<%s, Roots<[%s]>, [\n" t.name
+    (Tdl_ast.stmt_to_string t.pattern)
+    (String.concat ", " t.roots);
   List.iter (fun b -> Format.fprintf fmt "  %a,\n" pp_builder b) t.builders;
   Format.fprintf fmt "]>;\n"
 
@@ -218,6 +220,17 @@ let parse_tactic_at st =
   P.expect st P.Lt;
   let pattern = P.parse_stmt_at st in
   P.expect st P.Comma;
+  (* Optional root-op clause; older TDS files without one default to the
+     affine.for nests every structural tactic matches at. *)
+  let roots =
+    match (P.peek st).P.tok with
+    | P.Ident "Roots" ->
+        expect_name st "Roots";
+        let names = parse_name_list st in
+        P.expect st P.Comma;
+        names
+    | _ -> [ "affine.for" ]
+  in
   P.expect st P.Lbracket;
   let rec builders acc =
     match (P.peek st).P.tok with
@@ -234,7 +247,7 @@ let parse_tactic_at st =
   let builders = builders [] in
   P.expect st P.Gt;
   P.expect st P.Semi;
-  { name; pattern; builders }
+  { name; pattern; roots; builders }
 
 let parse ?(file = "<tds>") src =
   let st = { P.toks = P.tokenize ~file src } in

@@ -19,6 +19,10 @@ type builder =
 type tactic = {
   name : string;
   pattern : Tdl_ast.stmt;
+  roots : string list;
+      (** Op names the generated matcher can fire at (rendered as a
+          [Roots<[...]>] clause; files without one parse to
+          [["affine.for"]], the root of every structural nest match). *)
   builders : builder list;
 }
 

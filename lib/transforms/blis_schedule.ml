@@ -96,14 +96,17 @@ let lower_one blocking b (op : Core.op) =
 
 let run ?(blocking = default_blocking) root =
   let pat =
-    Rewriter.pattern ~name:"blis-schedule" (fun ctx op ->
+    Rewriter.pattern ~name:"blis-schedule"
+      ~roots:(Rewriter.Roots [ "affine.matmul" ])
+      ~generated_ops:[ "affine.for"; "affine.load"; "affine.store" ]
+      (fun ctx op ->
         if A.is_matmul op then begin
           lower_one blocking ctx.Rewriter.builder op;
           true
         end
         else false)
   in
-  ignore (Rewriter.apply_sweeps root [ pat ])
+  ignore (Rewriter.apply_sweeps root (Rewriter.freeze [ pat ]))
 
 let pass =
   Pass.make ~name:"lower-affine-matmul-blis" (fun root -> run root)

@@ -48,10 +48,19 @@ let fold_identities ~fast_math (ctx : Rewriter.ctx) (op : Core.op) =
   | _ -> false
 
 let patterns ?(fast_math = false) () =
-  [ Rewriter.pattern ~name:"fold-float-identities" (fold_identities ~fast_math) ]
+  [
+    Rewriter.pattern ~name:"fold-float-identities"
+      ~roots:
+        (Rewriter.Roots [ "arith.mulf"; "arith.addf"; "arith.subf"; "arith.divf" ])
+      (fold_identities ~fast_math);
+  ]
 
-let run ?fast_math root =
-  let n = Rewriter.apply_greedily root (patterns ?fast_math ()) in
+let frozen = Rewriter.freeze (patterns ())
+let frozen_fast_math = Rewriter.freeze (patterns ~fast_math:true ())
+
+let run ?(fast_math = false) root =
+  let fz = if fast_math then frozen_fast_math else frozen in
+  let n = Rewriter.apply_greedily root fz in
   (* Folding orphans constants; sweep them. *)
   ignore (Dce.run root);
   n

@@ -31,6 +31,33 @@ let has_side_effects (op : Core.op) =
   | "arith.addi" | "arith.subi" | "arith.muli" -> false
   | _ -> true
 
+(* DCE as a rewrite pattern, for composing into combined greedy sets
+   (e.g. a progressive-raising set where erasing a loop nest leaves its
+   index arithmetic dead, which would otherwise block exact-block
+   structural matching on sibling nests). Only handles the pure-scalar
+   case; dead buffers and empty loops still need [run]. Benefit 0 so
+   every real rewrite at an op is tried first. *)
+let pattern () =
+  Rewriter.pattern ~name:"erase-dead-pure-op" ~benefit:0
+    ~roots:
+      (Rewriter.Roots
+         ([ "arith.constant"; "affine.apply"; "affine.load" ]
+         @ Std_dialect.Arith.float_binops
+         @ [ "arith.addi"; "arith.subi"; "arith.muli" ]))
+    (fun ctx op ->
+      if
+        (not (has_side_effects op))
+        && (not (Std_dialect.Memref_ops.is_alloc op))
+        && Core.num_results op > 0
+        && Array.for_all
+             (fun (r : Core.value) -> not (Core.has_uses ctx.Rewriter.root r))
+             op.o_results
+      then begin
+        Core.erase_op op;
+        true
+      end
+      else false)
+
 let run root =
   let erased = ref 0 in
   let progress = ref true in

@@ -8,4 +8,10 @@ open Ir
 (** Returns the number of erased operations. *)
 val run : Core.op -> int
 
+(** The pure-scalar subset of DCE as a benefit-0 rewrite pattern, for
+    composing into combined greedy sets (dead index arithmetic left by a
+    nest-consuming raise would otherwise block structural matching on
+    sibling nests). Dead buffers and empty loops still need {!run}. *)
+val pattern : unit -> Rewriter.pattern
+
 val pass : Pass.t

@@ -83,13 +83,21 @@ let lower_apply (ctx : Rewriter.ctx) (op : Core.op) =
 
 let patterns () =
   [
-    Rewriter.pattern ~name:"affine-for-to-scf" (fun ctx op ->
-        if A.is_for op then lower_for ctx op else false);
-    Rewriter.pattern ~name:"affine-access-to-memref" (fun ctx op ->
+    Rewriter.pattern ~name:"affine-for-to-scf"
+      ~roots:(Rewriter.Roots [ "affine.for" ])
+      ~generated_ops:[ "scf.for" ]
+      (fun ctx op -> if A.is_for op then lower_for ctx op else false);
+    Rewriter.pattern ~name:"affine-access-to-memref"
+      ~roots:(Rewriter.Roots [ "affine.load"; "affine.store" ])
+      ~generated_ops:[ "memref.load"; "memref.store" ]
+      (fun ctx op ->
         if A.is_load op || A.is_store op then lower_access ctx op else false);
-    Rewriter.pattern ~name:"affine-apply-to-arith" lower_apply;
+    Rewriter.pattern ~name:"affine-apply-to-arith"
+      ~roots:(Rewriter.Roots [ "affine.apply" ])
+      lower_apply;
   ]
 
-let run root = ignore (Rewriter.apply_sweeps root (patterns ()))
+let frozen = Rewriter.freeze (patterns ())
+let run root = ignore (Rewriter.apply_sweeps root frozen)
 
 let pass = Pass.make ~name:"lower-affine-to-scf" run

@@ -241,15 +241,37 @@ let lower_op ?tile_size (ctx : Rewriter.ctx) (op : Core.op) =
   end;
   handled
 
-let patterns () =
-  [ Rewriter.pattern ~name:"lower-linalg" (lower_op ?tile_size:None) ]
+let linalg_roots =
+  Rewriter.Roots
+    [
+      "linalg.matmul";
+      "linalg.matvec";
+      "linalg.transpose";
+      "linalg.reshape";
+      "linalg.conv2d_nchw";
+      "linalg.contract";
+      "linalg.fill";
+    ]
 
-let run root = ignore (Rewriter.apply_sweeps root (patterns ()))
+let patterns () =
+  [
+    Rewriter.pattern ~name:"lower-linalg" ~roots:linalg_roots
+      ~generated_ops:[ "affine.for"; "affine.load"; "affine.store" ]
+      (lower_op ?tile_size:None);
+  ]
+
+let frozen = Rewriter.freeze (patterns ())
+let run root = ignore (Rewriter.apply_sweeps root frozen)
 
 let run_tiled ~size root =
   ignore
     (Rewriter.apply_sweeps root
-       [ Rewriter.pattern ~name:"lower-linalg-tiled" (lower_op ~tile_size:size) ])
+       (Rewriter.freeze
+          [
+            Rewriter.pattern ~name:"lower-linalg-tiled" ~roots:linalg_roots
+              ~generated_ops:[ "affine.for"; "affine.load"; "affine.store" ]
+              (lower_op ~tile_size:size);
+          ]))
 
 let pass = Pass.make ~name:"lower-linalg-to-affine" run
 
@@ -258,7 +280,10 @@ let tiled_pass ~size =
 
 let lower_affine_matmul_naive root =
   let pat =
-    Rewriter.pattern ~name:"lower-affine-matmul" (fun ctx op ->
+    Rewriter.pattern ~name:"lower-affine-matmul"
+      ~roots:(Rewriter.Roots [ "affine.matmul" ])
+      ~generated_ops:[ "affine.for"; "affine.load"; "affine.store" ]
+      (fun ctx op ->
         if A.is_matmul op then begin
           lower_matmul ctx.builder (Core.operand op 0) (Core.operand op 1)
             (Core.operand op 2);
@@ -267,4 +292,4 @@ let lower_affine_matmul_naive root =
         end
         else false)
   in
-  ignore (Rewriter.apply_sweeps root [ pat ])
+  ignore (Rewriter.apply_sweeps root (Rewriter.freeze [ pat ]))

@@ -113,9 +113,15 @@ let raise_access (ctx : Rewriter.ctx) (op : Core.op) =
 
 let patterns () =
   [
-    Rewriter.pattern ~name:"raise-scf-for" (fun ctx op ->
+    Rewriter.pattern ~name:"raise-scf-for"
+      ~roots:(Rewriter.Roots [ "scf.for" ])
+      ~generated_ops:[ "affine.for" ]
+      (fun ctx op ->
         if Std_dialect.Scf.is_for op then raise_for ctx op else false);
-    Rewriter.pattern ~name:"raise-memref-access" (fun ctx op ->
+    Rewriter.pattern ~name:"raise-memref-access"
+      ~roots:(Rewriter.Roots [ "memref.load"; "memref.store" ])
+      ~generated_ops:[ "affine.load"; "affine.store" ]
+      (fun ctx op ->
         if
           String.equal op.Core.o_name "memref.load"
           || String.equal op.Core.o_name "memref.store"
@@ -123,8 +129,10 @@ let patterns () =
         else false);
   ]
 
+let frozen = Rewriter.freeze (patterns ())
+
 let run root =
-  let n = Rewriter.apply_sweeps root (patterns ()) in
+  let n = Rewriter.apply_sweeps root frozen in
   (* Bound constants and index arithmetic are now dead. *)
   ignore (Dce.run root);
   n

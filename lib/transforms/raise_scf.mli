@@ -10,6 +10,10 @@
 
 open Ir
 
+(** The raising patterns (loop raising and access-map re-synthesis), for
+    composing into combined progressive-raising sets. *)
+val patterns : unit -> Rewriter.pattern list
+
 (** Returns the number of raised operations. *)
 val run : Core.op -> int
 

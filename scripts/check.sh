@@ -10,3 +10,7 @@ dune exec bench/main.exe -- micro --quick
 # Smoke-run the interpreter-engine comparison: fails if the staged engine
 # and the tree-walking oracle ever disagree on a benchmark kernel.
 dune exec bench/main.exe -- interp --quick
+# Smoke-run the frozen-pattern-set comparison: fails if op-indexed dispatch
+# ever changes rewriting results, or if its match-attempt reduction on the
+# polybench raising pipeline drops below 5x.
+dune exec bench/main.exe -- patterns --quick

@@ -145,6 +145,24 @@ let test_access_gemm_matches () =
   Alcotest.(check bool) "C bound" true
     (Core.value_equal (Ac.array_of ctx _C) (List.nth args 2))
 
+let test_access_ctx_single_use () =
+  (* A ctx is consumed by match_block: a second match with the same ctx
+     must raise (it would silently clobber the solution bindings), and
+     reset_ctx re-arms it. *)
+  let f = func_of_src (W.mm ~ni:4 ~nj:5 ~nk:6 ()) in
+  let body = innermost_body f in
+  let ctx = Ac.create_ctx () in
+  let pat, _, _ = gemm_pattern ctx in
+  Alcotest.(check bool) "first match" true (Ac.match_block ctx pat body);
+  (match Support.Diag.wrap (fun () -> Ac.match_block ctx pat body) with
+  | Ok _ -> Alcotest.fail "expected an error on ctx reuse"
+  | Error msg ->
+      Alcotest.(check bool) "mentions consumption" true
+        (Astring_contains.contains msg "consumed"));
+  Ac.reset_ctx ctx;
+  Alcotest.(check bool) "matches again after reset" true
+    (Ac.match_block ctx pat body)
+
 let test_access_gemm_misses_darknet () =
   (* Figure 8: the 2-d pattern must not match linearized accesses. *)
   let f = func_of_src ~name:"darknet_gemm" (W.darknet_gemm ~m:4 ~n:4 ~k:4 ()) in
@@ -395,6 +413,8 @@ let suite =
     Alcotest.test_case "op matcher custom def relation" `Quick
       test_op_match_custom_def;
     Alcotest.test_case "access: gemm matches" `Quick test_access_gemm_matches;
+    Alcotest.test_case "access: ctx is single-use" `Quick
+      test_access_ctx_single_use;
     Alcotest.test_case "access: 2-d pattern misses darknet (fig 8)" `Quick
       test_access_gemm_misses_darknet;
     Alcotest.test_case "access: linearized pattern matches darknet" `Quick

@@ -18,8 +18,12 @@ let test_sweeps_equals_greedy_on_lowering () =
     m
   in
   let m1 = prep () and m2 = prep () in
-  ignore (Rewriter.apply_greedily m1 (Transforms.Lower_linalg.patterns ()));
-  ignore (Rewriter.apply_sweeps m2 (Transforms.Lower_linalg.patterns ()));
+  ignore
+    (Rewriter.apply_greedily m1
+       (Rewriter.freeze (Transforms.Lower_linalg.patterns ())));
+  ignore
+    (Rewriter.apply_sweeps m2
+       (Rewriter.freeze (Transforms.Lower_linalg.patterns ())));
   Verifier.verify m1;
   Verifier.verify m2;
   Alcotest.(check bool) "drivers agree semantically" true
@@ -42,7 +46,10 @@ let test_rewriter_diverging_pattern_detected () =
         end
         else false)
   in
-  match Support.Diag.wrap (fun () -> Rewriter.apply_greedily m [ spin ]) with
+  match
+    Support.Diag.wrap (fun () ->
+        Rewriter.apply_greedily m (Rewriter.freeze [ spin ]))
+  with
   | Ok _ -> Alcotest.fail "expected divergence detection"
   | Error msg ->
       Alcotest.(check bool) "mentions fixpoint" true
@@ -61,8 +68,47 @@ let test_pattern_benefit_ordering () =
         end
         else false)
   in
-  ignore (Rewriter.apply_greedily m [ mk "low" 1; mk "high" 9 ]);
+  ignore (Rewriter.apply_greedily m (Rewriter.freeze [ mk "low" 1; mk "high" 9 ]));
   Alcotest.(check (list string)) "high first" [ "high" ] !hits
+
+let test_equal_benefit_registration_order () =
+  (* Equal-benefit patterns must be tried (and thus apply) in registration
+     order, under both drivers and regardless of root declarations — the
+     stable benefit sort is what makes greedy rewriting deterministic. *)
+  let check_driver driver_name driver roots_a roots_b =
+    let m =
+      Met.Emit_affine.translate (Workloads.Polybench.mm ~ni:4 ~nj:4 ~nk:4 ())
+    in
+    let fired = ref [] in
+    let mk name roots =
+      Rewriter.pattern ~name ~benefit:3 ~roots (fun _ op ->
+          if Affine.Affine_ops.is_store op && !fired = [] then begin
+            fired := name :: !fired;
+            Core.erase_op op;
+            true
+          end
+          else false)
+    in
+    ignore
+      (driver m
+         (Rewriter.freeze [ mk "registered-first" roots_a; mk "registered-second" roots_b ]));
+    Alcotest.(check (list string))
+      (driver_name ^ ": first registered wins ties")
+      [ "registered-first" ] !fired
+  in
+  let store_roots = Rewriter.Roots [ "affine.store" ] in
+  List.iter
+    (fun (name, driver) ->
+      check_driver name driver Rewriter.Any Rewriter.Any;
+      check_driver name driver store_roots store_roots;
+      (* Mixed Any/rooted: the Any pattern merges into the candidate list
+         at its sorted position, not appended after the rooted ones. *)
+      check_driver name driver Rewriter.Any store_roots;
+      check_driver name driver store_roots Rewriter.Any)
+    [
+      ("apply_greedily", Rewriter.apply_greedily);
+      ("apply_greedily_fullsweep", Rewriter.apply_greedily_fullsweep);
+    ]
 
 let test_printer_parser_sgemv_transpose_attr () =
   let src =
@@ -129,6 +175,8 @@ let suite =
       test_rewriter_diverging_pattern_detected;
     Alcotest.test_case "pattern benefit ordering" `Quick
       test_pattern_benefit_ordering;
+    Alcotest.test_case "equal-benefit ties keep registration order" `Quick
+      test_equal_benefit_registration_order;
     Alcotest.test_case "sgemv transpose attr roundtrip" `Quick
       test_printer_parser_sgemv_transpose_attr;
     Alcotest.test_case "figure 9 suite metadata" `Quick

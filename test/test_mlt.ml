@@ -72,7 +72,7 @@ let test_fill_raising () =
      < 8; ++j) C[i][j] = 0.0; }"
   in
   let m = Met.Emit_affine.translate src in
-  let n = Rewriter.apply_greedily m [ Mlt.Tactics.fill_pattern () ] in
+  let n = Rewriter.apply_greedily m (Rewriter.freeze [ Mlt.Tactics.fill_pattern () ]) in
   Alcotest.(check int) "raised" 1 n;
   Alcotest.(check int) "fill op" 1 (count_ops m "linalg.fill");
   (* Partial initialization must not raise. *)
@@ -82,7 +82,7 @@ let test_fill_raising () =
   in
   let m2 = Met.Emit_affine.translate src2 in
   Alcotest.(check int) "partial not raised" 0
-    (Rewriter.apply_greedily m2 [ Mlt.Tactics.fill_pattern () ])
+    (Rewriter.apply_greedily m2 (Rewriter.freeze [ Mlt.Tactics.fill_pattern () ]))
 
 (* --- chain detection and reordering ------------------------------------ *)
 

@@ -75,7 +75,7 @@ let test_delinearized_reshape_roundtrip () =
   let reference = Met.Emit_affine.translate src in
   let m = Met.Emit_affine.translate src in
   let tdl = Tdl.Frontend.contraction_tdl ~name:"T" "abc" "acd" "db" in
-  ignore (Rewriter.apply_greedily m (Tdl.Backend.compile_tdl tdl));
+  ignore (Rewriter.apply_greedily m (Rewriter.freeze (Tdl.Backend.compile_tdl tdl)));
   T.Lower_linalg.run m;
   T.Lower_affine.run m;
   ignore (T.Raise_scf.run m);

@@ -45,7 +45,7 @@ let prop_random_contraction_ttgt =
       let reference = Met.Emit_affine.translate src in
       let m = Met.Emit_affine.translate src in
       let pat = Mlt.Tactics.contraction spec in
-      let n = Rewriter.apply_greedily m [ pat ] in
+      let n = Rewriter.apply_greedily m (Rewriter.freeze [ pat ]) in
       Verifier.verify m;
       n = 1 && Interp.Eval.equivalent reference m "kern" ~seed:61)
 
@@ -64,7 +64,8 @@ let prop_random_contraction_full_pipeline =
       let m = Met.Emit_affine.translate src in
       ignore
         (Rewriter.apply_greedily m
-           [ Mlt.Tactics.fill_pattern (); Mlt.Tactics.contraction spec ]);
+           (Rewriter.freeze
+              [ Mlt.Tactics.fill_pattern (); Mlt.Tactics.contraction spec ]));
       Transforms.Lower_linalg.run m;
       Transforms.Lower_affine.run m;
       ignore (Transforms.Raise_scf.run m);
@@ -231,9 +232,22 @@ let build_patterns bits =
       (if bits land 8 <> 0 then [ Mlt.Tactics.fill_pattern () ] else []);
     ]
 
+(* Randomize root declarations: bit i of [mask] relaxes pattern i to Any.
+   By the roots contract (the apply function keeps its own op guard), any
+   Any-vs-rooted split must agree on the final IR and rewrite count —
+   declarations only prune dispatch, never change behaviour. *)
+let randomize_roots mask pats =
+  List.mapi
+    (fun i p ->
+      if mask land (1 lsl i) <> 0 then { p with Rewriter.p_roots = Rewriter.Any }
+      else p)
+    pats
+
 let gen_driver_case =
   let open QCheck.Gen in
   let* bits = int_range 1 15 in
+  let* mask1 = int_range 0 ((1 lsl 12) - 1) in
+  let* mask2 = int_range 0 ((1 lsl 12) - 1) in
   let* kind = int_range 0 3 in
   let* src =
     match kind with
@@ -247,21 +261,47 @@ let gen_driver_case =
         and* nk = int_range 2 6 in
         return (W.Polybench.gemm ~ni ~nj ~nk ())
   in
-  return (bits, src)
+  return (bits, mask1, mask2, src)
 
 let prop_worklist_matches_fullsweep =
   QCheck.Test.make
     ~name:
-      "worklist driver = full-sweep driver (identical IR and rewrite counts)"
+      "worklist driver = full-sweep driver (identical IR and rewrite counts, \
+       any root split)"
     ~count:60
     (QCheck.make
-       ~print:(fun (bits, src) -> Printf.sprintf "patterns=%#x\n%s" bits src)
+       ~print:(fun (bits, mask1, mask2, src) ->
+         Printf.sprintf "patterns=%#x roots1=%#x roots2=%#x\n%s" bits mask1
+           mask2 src)
        gen_driver_case)
-    (fun (bits, src) ->
+    (fun (bits, mask1, mask2, src) ->
       let m1 = Met.Emit_affine.translate src in
       let m2 = Met.Emit_affine.translate src in
-      let n1 = Rewriter.apply_greedily m1 (build_patterns bits) in
-      let n2 = Rewriter.apply_greedily_fullsweep m2 (build_patterns bits) in
+      let fz1 = Rewriter.freeze (randomize_roots mask1 (build_patterns bits)) in
+      let fz2 = Rewriter.freeze (randomize_roots mask2 (build_patterns bits)) in
+      let n1 = Rewriter.apply_greedily m1 fz1 in
+      let n2 = Rewriter.apply_greedily_fullsweep m2 fz2 in
+      Verifier.verify m1;
+      Verifier.verify m2;
+      n1 = n2 && Printer.op_to_string m1 = Printer.op_to_string m2)
+
+let prop_indexed_matches_relaxed =
+  QCheck.Test.make
+    ~name:
+      "op-indexed dispatch = relaxed (unindexed) dispatch under the same \
+       driver"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (bits, _, _, src) -> Printf.sprintf "patterns=%#x\n%s" bits src)
+       gen_driver_case)
+    (fun (bits, _, _, src) ->
+      let m1 = Met.Emit_affine.translate src in
+      let m2 = Met.Emit_affine.translate src in
+      let n1 = Rewriter.apply_greedily m1 (Rewriter.freeze (build_patterns bits)) in
+      let n2 =
+        Rewriter.apply_greedily m2
+          (Rewriter.Frozen.relax (Rewriter.freeze (build_patterns bits)))
+      in
       Verifier.verify m1;
       Verifier.verify m2;
       n1 = n2 && Printer.op_to_string m1 = Printer.op_to_string m2)
@@ -277,4 +317,5 @@ let suite =
       prop_inverse_permutation;
       prop_random_programs_roundtrip;
       prop_worklist_matches_fullsweep;
+      prop_indexed_matches_relaxed;
     ]

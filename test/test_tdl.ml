@@ -136,7 +136,7 @@ let test_tds_roundtrip () =
 let raise_with_tdl tdl_src c_src =
   let m = Met.Emit_affine.translate c_src in
   let patterns = Backend.compile_tdl tdl_src in
-  let n = Ir.Rewriter.apply_greedily m patterns in
+  let n = Ir.Rewriter.apply_greedily m (Ir.Rewriter.freeze patterns) in
   Ir.Verifier.verify m;
   (m, n)
 
@@ -243,7 +243,7 @@ let test_backend_affine_target () =
   let pats =
     Backend.compile_tdl ~target:Backend.To_affine_matmul Frontend.gemm_tdl
   in
-  let n = Ir.Rewriter.apply_greedily m pats in
+  let n = Ir.Rewriter.apply_greedily m (Ir.Rewriter.freeze pats) in
   Alcotest.(check int) "raised" 1 n;
   Alcotest.(check int) "affine.matmul" 1 (count_ops m "affine.matmul");
   (* affine.matmul is still executable by the interpreter. *)

@@ -33,7 +33,7 @@ let raise_to_linalg m =
         "def MV { pattern y(i) += A(i,j) * x(j) }\n\
          def MVT { pattern y(j) += A(i,j) * x(i) }"
   in
-  ignore (Rewriter.apply_greedily m pats)
+  ignore (Rewriter.apply_greedily m (Rewriter.freeze pats))
 
 let test_lower_linalg_roundtrip () =
   (* raise mm to linalg.matmul, lower back to loops, compare. *)
@@ -54,7 +54,7 @@ let test_lower_linalg_ttgt_roundtrip () =
   in
   equivalent_after "kern" src (fun m ->
       let tdl = Tdl.Frontend.contraction_tdl ~name:"T" "abc" "acd" "db" in
-      ignore (Rewriter.apply_greedily m (Tdl.Backend.compile_tdl tdl));
+      ignore (Rewriter.apply_greedily m (Rewriter.freeze (Tdl.Backend.compile_tdl tdl)));
       T.Lower_linalg.run m;
       Alcotest.(check int) "no reshape left" 0 (count_ops m "linalg.reshape"))
 
@@ -161,7 +161,7 @@ let test_canonicalize_alpha_one () =
      C[i][j] += 1.0 * A[i][k] * B[k][j]; }"
   in
   let m = translate src in
-  let pats = Tdl.Backend.compile_tdl Tdl.Frontend.gemm_tdl in
+  let pats = Rewriter.freeze (Tdl.Backend.compile_tdl Tdl.Frontend.gemm_tdl) in
   Alcotest.(check int) "no match before canonicalization" 0
     (Rewriter.apply_greedily m pats);
   ignore (T.Canonicalize.run m);
@@ -303,7 +303,7 @@ let test_lower_affine_with_reshape_delinearization () =
   in
   equivalent_after "kern" src (fun m ->
       let tdl = Tdl.Frontend.contraction_tdl ~name:"T" "abc" "acd" "db" in
-      ignore (Rewriter.apply_greedily m (Tdl.Backend.compile_tdl tdl));
+      ignore (Rewriter.apply_greedily m (Rewriter.freeze (Tdl.Backend.compile_tdl tdl)));
       T.Lower_linalg.run m;
       T.Lower_affine.run m;
       Alcotest.(check bool) "has scf loops" true (count_ops m "scf.for" > 0);
