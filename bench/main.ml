@@ -17,6 +17,10 @@ module P = Mlt.Pipeline
 
 let quick = ref false
 
+(* [--trace=FILE] wraps the selected sections in a Chrome trace sink, so
+   a bench run can be inspected in Perfetto like any mlt-opt run. *)
+let trace_file = ref None
+
 let sep title = Printf.printf "\n== %s ==\n%!" title
 
 (* ---------------- Figure 8 ---------------------------------------------- *)
@@ -489,6 +493,32 @@ let patterns_section () =
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote BENCH_patterns.json\n";
+
+  (* Tracing call sites stay in the rewrite hot path permanently; with no
+     sink installed each must cost no more than a ref read. Budget is
+     generous (CI noise) — a regression to eager argument construction
+     would blow past it by orders of magnitude. *)
+  if Trace.enabled () then
+    Printf.printf
+      "disabled-trace overhead check skipped (a trace sink is installed)\n"
+  else begin
+    let calls = 2_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to calls do
+      Trace.instant
+        ~args:[ ("i", Trace.A_int i) ]
+        ~cat:"bench" "noop"
+    done;
+    let per_call_ns =
+      (Unix.gettimeofday () -. t0) /. float_of_int calls *. 1e9
+    in
+    Printf.printf "disabled-trace emit: %.1f ns/call over %d calls (budget: 50 ns)\n"
+      per_call_ns calls;
+    if per_call_ns > 50. then
+      Support.Diag.errorf
+        "bench patterns: disabled tracing costs %.1f ns/call (> 50 ns budget)"
+        per_call_ns
+  end;
   if ratio < 5. then
     Support.Diag.errorf
       "bench patterns: attempt reduction %.1fx below the 5x target" ratio;
@@ -643,6 +673,10 @@ let () =
         if a = "--quick" then (
           quick := true;
           false)
+        else if String.starts_with ~prefix:"--trace=" a then (
+          trace_file :=
+            Some (String.sub a 8 (String.length a - 8));
+          false)
         else true)
       args
   in
@@ -654,16 +688,29 @@ let () =
       ]
     else args
   in
-  List.iter
-    (function
-      | "fig8" -> fig8 ()
-      | "sec51" -> sec51 ()
-      | "fig9" -> fig9 ()
-      | "table2" -> table2 ()
-      | "overhead" -> overhead ()
-      | "ablation" -> ablation ()
-      | "interp" -> interp ()
-      | "patterns" -> patterns_section ()
-      | "micro" -> micro ()
-      | other -> Printf.eprintf "unknown section %S\n" other)
-    sections
+  let run_sections () =
+    List.iter
+      (function
+        | "fig8" -> fig8 ()
+        | "sec51" -> sec51 ()
+        | "fig9" -> fig9 ()
+        | "table2" -> table2 ()
+        | "overhead" -> overhead ()
+        | "ablation" -> ablation ()
+        | "interp" -> interp ()
+        | "patterns" -> patterns_section ()
+        | "micro" -> micro ()
+        | other -> Printf.eprintf "unknown section %S\n" other)
+      sections
+  in
+  match !trace_file with
+  | None -> run_sections ()
+  | Some path ->
+      let sink = Trace.Chrome.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.Chrome.detach sink;
+          Trace.Chrome.write sink path;
+          Printf.printf "wrote trace (%d events) to %s\n"
+            (Trace.Chrome.count sink) path)
+        run_sections

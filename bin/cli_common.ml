@@ -47,9 +47,13 @@ let verify_exec ?(deprecated = []) () =
       List.fold_left2
         (fun acc flag_name alias ->
           let merge acc_v used =
+            (* Routed through the remark layer (satellite of the
+               observability PR): with no sink installed this still prints
+               to stderr, but a [--remarks] run or a test sink sees it as
+               a structured [Warning]. *)
             if used then
-              Printf.eprintf "warning: --%s is deprecated; use --verify-exec\n%!"
-                flag_name;
+              Ir.Remark.warningf ~context:"cli"
+                "--%s is deprecated; use --verify-exec" flag_name;
             acc_v || used
           in
           Term.(const merge $ acc $ alias))
@@ -71,3 +75,73 @@ let pass_stats =
           "Print the per-pass statistics as one JSON object, including \
            per-pattern attempt/hit counters (schema in \
            docs/OBSERVABILITY.md).")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file covering the whole run: \
+           pass spans, rewrite-driver runs, per-pattern attempt/hit \
+           events, interpreter compile/exec spans and remarks. Load it in \
+           Perfetto or chrome://tracing (schema in docs/OBSERVABILITY.md).")
+
+let print_debug_locs =
+  Arg.(
+    value & flag
+    & info [ "print-debug-locs" ]
+        ~doc:
+          "Print a loc(...) trailer after every operation: the source \
+           location, or the provenance chain (pattern name + consumed \
+           source locations) for ops created by the raising patterns.")
+
+let remarks =
+  let kinds_conv =
+    let parse s =
+      match Ir.Remark.kinds_of_string s with
+      | Some kinds -> Ok kinds
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid remark filter %S (expected missed, applied, \
+                   analysis or all)"
+                  s))
+    in
+    let print fmt kinds =
+      Format.pp_print_string fmt
+        (String.concat ","
+           (List.map Ir.Remark.kind_name kinds))
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some kinds_conv) None
+    & info [ "remarks" ] ~docv:"KINDS"
+        ~doc:
+          "Print structured optimizer remarks to stderr: 'applied' \
+           (successful rewrites), 'missed' (near-misses, with the matcher \
+           stage that rejected them), 'analysis', or 'all'.")
+
+(* Installs the sinks the observability flags ask for around [f]:
+   [--trace=FILE] a Chrome trace sink (the file is written even when [f]
+   raises, so a failing pipeline still leaves its trace), [--remarks] a
+   filtered stderr remark printer. The trace sink goes in first so that
+   remarks are mirrored into the trace as instant events. *)
+let with_observability ~trace ~remarks f =
+  let with_remarks f =
+    match remarks with
+    | None -> f ()
+    | Some kinds -> Ir.Remark.with_sink (Ir.Remark.stderr_sink ~kinds ()) f
+  in
+  match trace with
+  | None -> with_remarks f
+  | Some path ->
+      let sink = Ir.Trace.Chrome.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          Ir.Trace.Chrome.detach sink;
+          Ir.Trace.Chrome.write sink path)
+        (fun () -> with_remarks f)

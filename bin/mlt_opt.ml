@@ -35,13 +35,14 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
     raise_scf canonicalize fast_math raise_affine raise_linalg reorder_chains
     to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
-    verify_exec engine timing pass_stats print_ir_after_all print_ir_after
-    output =
+    verify_exec engine timing pass_stats trace print_debug_locs remarks
+    print_ir_after_all print_ir_after output =
   if list_ops_flag then (
     list_ops ();
     Ok ())
   else
   try
+    Cli_common.with_observability ~trace ~remarks @@ fun () ->
     Interp.Eval.default_engine := engine;
     let src = read_file input in
     let is_c =
@@ -116,7 +117,9 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
             end)
           (Ir.Core.ops_of_block (Ir.Core.module_block reference))
     | None -> ());
-    let text = Ir.Printer.op_to_string m ^ "\n" in
+    let text =
+      Ir.Printer.op_to_string ~debug_locs:print_debug_locs m ^ "\n"
+    in
     (match output with
     | None -> print_string text
     | Some path -> Out_channel.with_open_text path (fun oc ->
@@ -182,6 +185,9 @@ let cmd =
     $ Cli_common.interp_engine
     $ Cli_common.timing
     $ Cli_common.pass_stats
+    $ Cli_common.trace
+    $ Cli_common.print_debug_locs
+    $ Cli_common.remarks
     $ flag [ "print-ir-after-all" ] "Print the IR after every pass."
     $ Arg.(value & opt_all string []
            & info [ "print-ir-after" ] ~docv:"PASS"

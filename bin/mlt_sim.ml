@@ -29,8 +29,10 @@ let sole_func m =
       Support.Diag.errorf "mlt-sim: expected one kernel, found %d"
         (List.length fs)
 
-let run input config machine flops engine execute verify timing pass_stats =
+let run input config machine flops engine execute verify timing pass_stats
+    trace remarks =
   try
+    Cli_common.with_observability ~trace ~remarks @@ fun () ->
     Interp.Eval.default_engine := engine;
     let src =
       match input with
@@ -107,7 +109,9 @@ let cmd =
                        inputs (wall-clock), in addition to the simulation.")
       $ Cli_common.verify_exec ~deprecated:[ "verify" ] ()
       $ Cli_common.timing
-      $ Cli_common.pass_stats)
+      $ Cli_common.pass_stats
+      $ Cli_common.trace
+      $ Cli_common.remarks)
   in
   Cmd.v
     (Cmd.info "mlt-sim" ~version:"1.0"

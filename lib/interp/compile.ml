@@ -655,6 +655,10 @@ type compiled = {
 let compile_func f =
   if not (Core.is_func f) then
     invalid_arg "Interp.Compile.compile_func: not a func.func";
+  Trace.span ~cat:"interp"
+    ~args:[ ("func", Trace.A_str (Core.func_name f)) ]
+    "compile"
+  @@ fun () ->
   let ctx = create_ctx () in
   let arg_slots =
     Array.of_list (List.map (def_buf ctx) (Core.func_args f))

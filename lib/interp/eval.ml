@@ -212,7 +212,16 @@ let walk_func f args =
 (* ---------------- engine dispatch --------------------------------------- *)
 
 let run_func ?engine f args =
-  match Option.value engine ~default:!Rt.default_engine with
+  let engine = Option.value engine ~default:!Rt.default_engine in
+  Trace.span ~cat:"interp"
+    ~args:
+      [
+        ("func", Trace.A_str (Core.func_name f));
+        ("engine", Trace.A_str (Rt.engine_name engine));
+      ]
+    "exec"
+  @@ fun () ->
+  match engine with
   | Walk -> walk_func f args
   | Compiled -> Compile.run_func f args
 

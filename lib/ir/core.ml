@@ -16,7 +16,11 @@ and op = {
   mutable o_attrs : (string * Attr.t) list;
   o_regions : region array;
   mutable o_parent : block option;
+  mutable o_loc : Support.Loc.t;
+  mutable o_prov : derivation list;
 }
+
+and derivation = { dv_pattern : string; dv_locs : Support.Loc.t list }
 
 and block = {
   b_id : int;
@@ -39,21 +43,45 @@ type listener = {
   on_operand_update : op -> unit;
 }
 
-let the_listener : listener option ref = ref None
+(* A stack of listeners, newest first; every notification reaches all of
+   them. A provenance-collecting listener (installed per pattern attempt
+   by the rewriter) therefore composes with the worklist driver's
+   re-enqueue listener instead of shadowing it. *)
+let the_listeners : listener list ref = ref []
 
 let notify_inserted op =
-  match !the_listener with Some l -> l.on_op_inserted op | None -> ()
+  match !the_listeners with
+  | [] -> ()
+  | ls -> List.iter (fun l -> l.on_op_inserted op) ls
 
 let notify_erased op =
-  match !the_listener with Some l -> l.on_op_erased op | None -> ()
+  match !the_listeners with
+  | [] -> ()
+  | ls -> List.iter (fun l -> l.on_op_erased op) ls
 
 let notify_operand_update op =
-  match !the_listener with Some l -> l.on_operand_update op | None -> ()
+  match !the_listeners with
+  | [] -> ()
+  | ls -> List.iter (fun l -> l.on_operand_update op) ls
 
 let with_listener l f =
-  let saved = !the_listener in
-  the_listener := Some l;
-  Fun.protect ~finally:(fun () -> the_listener := saved) f
+  let saved = !the_listeners in
+  the_listeners := l :: saved;
+  Fun.protect ~finally:(fun () -> the_listeners := saved) f
+
+(* ---- ambient source location -------------------------------------------- *)
+
+(* Frontends scope op creation with [with_loc] so every op built for a
+   statement — including ops emitted deep inside dialect builders — is
+   stamped with that statement's source location. *)
+let ambient_loc = ref Support.Loc.unknown
+
+let current_loc () = !ambient_loc
+
+let with_loc loc f =
+  let saved = !ambient_loc in
+  ambient_loc := loc;
+  Fun.protect ~finally:(fun () -> ambient_loc := saved) f
 
 (* ---- intrusive use lists ------------------------------------------------ *)
 
@@ -65,8 +93,9 @@ let remove_use v user index =
 
 (* ---- construction ------------------------------------------------------- *)
 
-let create_op ?(operands = []) ?(result_types = []) ?(attrs = [])
+let create_op ?loc ?(operands = []) ?(result_types = []) ?(attrs = [])
     ?(regions = []) name =
+  let loc = match loc with Some l -> l | None -> !ambient_loc in
   let op =
     {
       o_id = fresh ();
@@ -76,6 +105,8 @@ let create_op ?(operands = []) ?(result_types = []) ?(attrs = [])
       o_attrs = attrs;
       o_regions = Array.of_list regions;
       o_parent = None;
+      o_loc = loc;
+      o_prov = [];
     }
   in
   Array.iteri (fun i v -> add_use v op i) op.o_operands;
@@ -122,6 +153,15 @@ let result op i = op.o_results.(i)
 let operand op i = op.o_operands.(i)
 let num_operands op = Array.length op.o_operands
 let num_results op = Array.length op.o_results
+
+(* ---- location and provenance -------------------------------------------- *)
+
+let op_loc op = op.o_loc
+let set_loc op loc = op.o_loc <- loc
+
+let add_derivation op dv = op.o_prov <- dv :: op.o_prov
+
+let provenance op = op.o_prov
 
 let find_attr op name = List.assoc_opt name op.o_attrs
 
@@ -412,6 +452,8 @@ let rec clone_op_with map op =
       ~attrs:op.o_attrs ~regions op.o_name
   in
   register_regions op';
+  op'.o_loc <- op.o_loc;
+  op'.o_prov <- op.o_prov;
   Array.iteri
     (fun i r ->
       op'.o_results.(i).v_hint <- r.v_hint;

@@ -37,7 +37,17 @@ and op = {
   mutable o_attrs : (string * Attr.t) list;
   o_regions : region array;
   mutable o_parent : block option;
+  mutable o_loc : Support.Loc.t;
+      (** source location: where the frontend/parser created this op, or
+          (for derived ops) the location of the first known source op *)
+  mutable o_prov : derivation list;
+      (** provenance chain, newest derivation first; empty for ops that
+          came straight from a frontend *)
 }
+
+(** One provenance step: the pattern that emitted the op, plus the known
+    source locations of the ops the rewrite consumed. *)
+and derivation = { dv_pattern : string; dv_locs : Support.Loc.t list }
 
 and block = {
   b_id : int;
@@ -55,14 +65,35 @@ and region = { r_id : int; mutable r_blocks : block list }
 
 (** [create_op name ~operands ~result_types ~attrs ~regions] builds a
     detached operation and its result values, registering the op on each
-    operand's use-list. *)
+    operand's use-list. [loc] defaults to the ambient location
+    ({!with_loc}). *)
 val create_op :
+  ?loc:Support.Loc.t ->
   ?operands:value list ->
   ?result_types:Typ.t list ->
   ?attrs:(string * Attr.t) list ->
   ?regions:region list ->
   string ->
   op
+
+(** {2 Locations and provenance} *)
+
+(** [with_loc loc f] runs [f ()] with [loc] as the ambient source
+    location: every op created inside (without an explicit [?loc]) is
+    stamped with it. Nests; exception-safe. Frontends scope each
+    statement's emission with this. *)
+val with_loc : Support.Loc.t -> (unit -> 'a) -> 'a
+
+(** The current ambient location ([Loc.unknown] outside {!with_loc}). *)
+val current_loc : unit -> Support.Loc.t
+
+val op_loc : op -> Support.Loc.t
+val set_loc : op -> Support.Loc.t -> unit
+
+(** Push a derivation onto the op's provenance chain (newest first). *)
+val add_derivation : op -> derivation -> unit
+
+val provenance : op -> derivation list
 
 (** [create_block arg_types] builds a detached block with fresh argument
     values; [hints] optionally names them. *)
@@ -107,10 +138,13 @@ val is_under : root:op -> op -> bool
     so the size must return to baseline after build-and-erase cycles. *)
 val region_registry_size : unit -> int
 
-(** {2 Mutation listener}
+(** {2 Mutation listeners}
 
-    The worklist rewrite driver observes IR mutations through a single
-    process-wide listener installed for the duration of a driver run. *)
+    IR mutations are observed through a process-wide {e stack} of
+    listeners: the worklist rewrite driver installs one for the duration
+    of a driver run, and the rewriter's provenance collector installs
+    another per pattern attempt. Every notification reaches every
+    installed listener. *)
 
 type listener = {
   on_op_inserted : op -> unit;  (** fired after attaching an op to a block *)
@@ -120,8 +154,9 @@ type listener = {
       (** fired after {!set_operand} changes an operand *)
 }
 
-(** [with_listener l f] runs [f ()] with [l] installed, restoring the
-    previous listener afterwards (exception-safe, so drivers nest). *)
+(** [with_listener l f] runs [f ()] with [l] pushed onto the listener
+    stack, restoring the previous stack afterwards (exception-safe, so
+    drivers and collectors nest freely). *)
 val with_listener : listener -> (unit -> 'a) -> 'a
 
 (** {2 Block surgery} *)

@@ -579,6 +579,10 @@ let rec parse_block_ops st b ~terminator =
 
 and parse_op st b =
   let t = peek st in
+  (* Scope the op's first-token location over its whole parse: the op it
+     builds — and any ops built for nested regions pick up their own
+     [parse_op] location instead. *)
+  Core.with_loc t.loc @@ fun () ->
   match t.tok with
   | T_value _ -> parse_assignment st b
   | T_ident "builtin.module" -> ignore (parse_module_at st b)

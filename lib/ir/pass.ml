@@ -83,11 +83,15 @@ let timed m ~name ~depth root body =
   let attempts0, rewrites0 = Rewriter.counter_totals () in
   let patterns0 = Rewriter.pattern_totals () in
   let t0 = Unix.gettimeofday () in
+  if Trace.enabled () then
+    Trace.begin_ ~cat:"pass"
+      ~args:[ ("ops_before", Trace.A_int ops_before) ]
+      name;
   Fun.protect
     ~finally:(fun () ->
       let seconds = Unix.gettimeofday () -. t0 in
       let attempts1, rewrites1 = Rewriter.counter_totals () in
-      m.recorded <-
+      let entry =
         {
           pass_name = name;
           seconds;
@@ -98,13 +102,30 @@ let timed m ~name ~depth root body =
           depth;
           pattern_stats = pattern_delta patterns0 (Rewriter.pattern_totals ());
         }
-        :: m.recorded)
+      in
+      m.recorded <- entry :: m.recorded;
+      if Trace.enabled () then
+        Trace.end_ ~cat:"pass"
+          ~args:
+            [
+              ("ops_after", Trace.A_int entry.ops_after);
+              ("match_attempts", Trace.A_int entry.match_attempts);
+              ("rewrites", Trace.A_int entry.rewrites);
+            ]
+          name)
     body
 
 let rec run_item m ~depth ~prefix root = function
   | Single p ->
       let qualified = prefix ^ p.name in
-      timed m ~name:qualified ~depth root (fun () -> p.run root);
+      (* Re-report mid-pass diagnostics with the failing pass's qualified
+         name; the location (stamped by the rewriter when the failure
+         happened at a located op) rides along untouched. *)
+      (try timed m ~name:qualified ~depth root (fun () -> p.run root)
+       with Support.Diag.Error (loc, msg) ->
+         raise
+           (Support.Diag.Error
+              (loc, Printf.sprintf "pass '%s': %s" qualified msg)));
       if wants_snapshot m p.name then
         m.ir_sink ~pass_name:qualified ~ir:(Printer.op_to_string root);
       if m.verify_each then (

@@ -4,10 +4,37 @@ type env = {
   names : (int, string) Hashtbl.t;  (** value id -> printed name *)
   used : (string, unit) Hashtbl.t;
   mutable counter : int;
+  debug_locs : bool;
+      (** append [loc(...)] trailers; off by default so the output stays
+          parseable (the round-trip property the tests enforce) *)
 }
 
-let create_env () =
-  { names = Hashtbl.create 64; used = Hashtbl.create 64; counter = 0 }
+let create_env ?(debug_locs = false) () =
+  {
+    names = Hashtbl.create 64;
+    used = Hashtbl.create 64;
+    counter = 0;
+    debug_locs;
+  }
+
+(* [loc("gemm.c":4:3)] for frontend ops; derived ops name the pattern and
+   the source locations its rewrite consumed, newest derivation first. *)
+let pp_loc_trailer fmt (op : Core.op) =
+  let known = Support.Loc.is_known op.Core.o_loc in
+  match op.Core.o_prov with
+  | [] ->
+      if known then
+        F.fprintf fmt " loc(%s)" (Support.Loc.to_string op.Core.o_loc)
+  | dvs ->
+      F.fprintf fmt " loc(";
+      List.iteri
+        (fun i (d : Core.derivation) ->
+          if i > 0 then F.fprintf fmt " | ";
+          F.fprintf fmt "derived \"%s\" from [%s]" d.Core.dv_pattern
+            (String.concat ", "
+               (List.map Support.Loc.to_string d.Core.dv_locs)))
+        dvs;
+      F.fprintf fmt ")"
 
 let assign_name env (v : Core.value) =
   match Hashtbl.find_opt env.names v.v_id with
@@ -95,6 +122,10 @@ let pp_ins_outs env fmt ~ins ~outs =
   pp_group "outs" fmt outs
 
 let rec pp_op_in env indent fmt (op : Core.op) =
+  pp_op_body env indent fmt op;
+  if env.debug_locs then pp_loc_trailer fmt op
+
+and pp_op_body env indent fmt (op : Core.op) =
   let pad = String.make indent ' ' in
   let results = Array.to_list op.o_results in
   List.iter (fun r -> ignore (assign_name env r)) results;
@@ -287,11 +318,11 @@ and pp_block_contents env indent fmt (b : Core.block) =
       F.fprintf fmt "\n")
     (Core.ops_of_block b)
 
-let pp_op fmt op =
-  let env = create_env () in
+let pp_op ?debug_locs fmt op =
+  let env = create_env ?debug_locs () in
   pp_op_in env 0 fmt op
 
-let op_to_string op = F.asprintf "%a" pp_op op
+let op_to_string ?debug_locs op = F.asprintf "%a" (pp_op ?debug_locs) op
 
 let debug_value v =
   match v.Core.v_hint with

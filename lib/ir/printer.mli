@@ -8,10 +8,18 @@
     round-trip property that the tests enforce. *)
 
 (** [pp_op fmt op] prints a whole operation tree (typically a module or a
-    function) followed by a newline for nested ops. *)
-val pp_op : Format.formatter -> Core.op -> unit
+    function) followed by a newline for nested ops.
 
-val op_to_string : Core.op -> string
+    [debug_locs] (default false) appends a [loc(...)] trailer to every
+    op that has a known source location or a provenance chain:
+    [loc("gemm.c":4:3)] for frontend ops, and
+    [loc(derived "GEMM" from ["gemm.c":2:3, ...])] for ops stamped by a
+    rewrite ([mlt-opt --print-debug-locs]). Trailers are not part of the
+    parseable syntax, so the round-trip property holds only for the
+    default form. *)
+val pp_op : ?debug_locs:bool -> Format.formatter -> Core.op -> unit
+
+val op_to_string : ?debug_locs:bool -> Core.op -> string
 
 (** [debug_value v] renders a value for diagnostics (hint + internal id);
     names are not the printer's stable SSA names. *)

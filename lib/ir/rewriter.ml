@@ -69,14 +69,85 @@ let total_match_attempts = ref 0
 let total_rewrites = ref 0
 let counter_totals () = (!total_match_attempts, !total_rewrites)
 
+(* Provenance: cap how many distinct source locations a derivation
+   records — a consumed loop nest contributes a handful, and unbounded
+   chains would bloat ops rewritten many times. *)
+let max_src_locs = 8
+
 let try_apply p ctx op =
   incr total_match_attempts;
   p.p_stats.st_attempts <- p.p_stats.st_attempts + 1;
-  let applied = p.p_apply ctx op in
+  (* Observe the attempt through the listener stack: ops the rewrite
+     inserts get stamped with a derivation on success, and ops it erases
+     contribute their known source locations (walking the subtree at
+     erase time, while it is still intact). *)
+  let inserted_rev = ref [] in
+  let inserted_ids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let src_locs_rev =
+    ref (if Support.Loc.is_known op.Core.o_loc then [ op.Core.o_loc ] else [])
+  in
+  let note_src_loc l =
+    if
+      Support.Loc.is_known l
+      && List.length !src_locs_rev < max_src_locs
+      && not (List.exists (Support.Loc.equal l) !src_locs_rev)
+    then src_locs_rev := l :: !src_locs_rev
+  in
+  let listener =
+    {
+      Core.on_op_inserted =
+        (fun o ->
+          if not (Hashtbl.mem inserted_ids o.Core.o_id) then begin
+            Hashtbl.replace inserted_ids o.Core.o_id ();
+            inserted_rev := o :: !inserted_rev
+          end);
+      on_op_erased =
+        (fun erased ->
+          Core.walk erased (fun o ->
+              if not (Hashtbl.mem inserted_ids o.Core.o_id) then
+                note_src_loc o.Core.o_loc));
+      on_operand_update = ignore;
+    }
+  in
+  let applied =
+    try Core.with_listener listener (fun () -> p.p_apply ctx op) with
+    | Support.Diag.Error (loc, msg)
+      when (not (Support.Loc.is_known loc))
+           && Support.Loc.is_known op.Core.o_loc ->
+        (* Attribute location-less mid-rewrite failures to the matched op. *)
+        raise (Support.Diag.Error (op.Core.o_loc, msg))
+  in
   if applied then begin
     incr total_rewrites;
-    p.p_stats.st_hits <- p.p_stats.st_hits + 1
+    p.p_stats.st_hits <- p.p_stats.st_hits + 1;
+    let srcs = List.rev !src_locs_rev in
+    let dv = { Core.dv_pattern = p.p_name; dv_locs = srcs } in
+    List.iter
+      (fun o ->
+        if o.Core.o_parent != None then begin
+          Core.add_derivation o dv;
+          if not (Support.Loc.is_known o.Core.o_loc) then
+            match srcs with l :: _ -> Core.set_loc o l | [] -> ()
+        end)
+      (List.rev !inserted_rev)
   end;
+  if Trace.enabled () then begin
+    let args =
+      [
+        ("op", Trace.A_str op.Core.o_name);
+        ("hit", Trace.A_bool applied);
+      ]
+    in
+    let args =
+      if Support.Loc.is_known op.Core.o_loc then
+        args @ [ ("loc", Trace.A_str (Support.Loc.to_string op.Core.o_loc)) ]
+      else args
+    in
+    Trace.instant ~cat:"pattern" ~args p.p_name
+  end;
+  if applied && Remark.enabled () then
+    Remark.remark ~loc:op.Core.o_loc ~pattern:p.p_name Remark.Applied
+      "rewrote %s" op.Core.o_name;
   applied
 
 (* Stable: equal-benefit patterns keep their registration order, which is
@@ -144,7 +215,27 @@ let activate (fz : Frozen.t) =
     (fun p -> p.p_stats.st_activations <- p.p_stats.st_activations + 1)
     (Frozen.patterns fz)
 
+(* Bracket a driver run in a trace span whose End event carries the
+   application count. *)
+let with_driver_span name fz f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    Trace.begin_ ~cat:"driver"
+      ~args:[ ("patterns", Trace.A_int (Frozen.size fz)) ]
+      name;
+    match f () with
+    | n ->
+        Trace.end_ ~cat:"driver"
+          ~args:[ ("applications", Trace.A_int n) ]
+          name;
+        n
+    | exception e ->
+        Trace.end_ ~cat:"driver" name;
+        raise e
+  end
+
 let apply_greedily root frozen =
+  with_driver_span "greedy-worklist" frozen @@ fun () ->
   activate frozen;
   (* LIFO worklist. Seeded post-order and popped from the top, the
      outermost ops come off first: a nest-consuming raising pattern fires
@@ -225,6 +316,7 @@ let apply_greedily root frozen =
    application. Kept as the differential-testing oracle for the worklist
    driver (see test/test_random.ml). *)
 let apply_greedily_fullsweep root frozen =
+  with_driver_span "greedy-fullsweep" frozen @@ fun () ->
   activate frozen;
   let applications = ref 0 in
   let progress = ref true in
@@ -255,6 +347,7 @@ let apply_greedily_fullsweep root frozen =
   !applications
 
 let apply_sweeps root frozen =
+  with_driver_span "sweeps" frozen @@ fun () ->
   activate frozen;
   let applications = ref 0 in
   let progress = ref true in

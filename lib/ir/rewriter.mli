@@ -96,7 +96,19 @@ end
 (** [freeze ps] is {!Frozen.of_patterns}[ ps]. *)
 val freeze : pattern list -> Frozen.t
 
-(** {2 Drivers} *)
+(** {2 Drivers}
+
+    All drivers are observable: each run is bracketed in a {!Trace} span
+    (category ["driver"]) whose End event carries the application count,
+    and every pattern attempt emits an instant event (category
+    ["pattern"]) when a trace sink is installed. On a successful
+    application the driver stamps each op the rewrite inserted with a
+    {!Core.derivation} — the pattern name plus the known source
+    locations of the matched op and everything the rewrite erased — and
+    propagates a source location onto location-less inserted ops, so
+    raised ops answer "where did this come from?"
+    ([--print-debug-locs]). A [Diag.Error] escaping a pattern body with
+    no location is re-raised carrying the matched op's location. *)
 
 (** [apply_greedily root frozen] applies the highest-benefit matching
     pattern per op to a fixpoint using a worklist: the queue is seeded

@@ -1,0 +1,176 @@
+type arg =
+  | A_str of string
+  | A_int of int
+  | A_float of float
+  | A_bool of bool
+
+type phase = Begin | End | Instant
+
+type event = {
+  ev_ts : float;
+  ev_cat : string;
+  ev_name : string;
+  ev_phase : phase;
+  ev_args : (string * arg) list;
+}
+
+type sink = event -> unit
+
+(* Installed sinks, newest first, each keyed by a handle so [uninstall] is
+   order-independent. The hot path is "no sinks installed": [emit] reads
+   one ref and returns, so tracing costs nothing when disabled. *)
+let sinks : (int * sink) list ref = ref []
+let next_handle = ref 0
+
+type handle = int
+
+let install sink =
+  incr next_handle;
+  let h = !next_handle in
+  sinks := (h, sink) :: !sinks;
+  h
+
+let uninstall h = sinks := List.filter (fun (h', _) -> h' <> h) !sinks
+
+let with_sink sink f =
+  let h = install sink in
+  Fun.protect ~finally:(fun () -> uninstall h) f
+
+let enabled () = !sinks <> []
+
+let dispatch ev = List.iter (fun (_, sink) -> sink ev) !sinks
+
+let now () = Unix.gettimeofday ()
+
+let emit ?(args = []) ~cat ~phase name =
+  if !sinks <> [] then
+    dispatch { ev_ts = now (); ev_cat = cat; ev_name = name; ev_phase = phase;
+               ev_args = args }
+
+let instant ?args ~cat name = emit ?args ~cat ~phase:Instant name
+let begin_ ?args ~cat name = emit ?args ~cat ~phase:Begin name
+let end_ ?args ~cat name = emit ?args ~cat ~phase:End name
+
+(* [span] takes the end args lazily: they usually summarize what the body
+   did (op counts, applications) and only exist once it has run. *)
+let span ?args ?(end_args = fun () -> []) ~cat name f =
+  if !sinks = [] then f ()
+  else begin
+    begin_ ?args ~cat name;
+    Fun.protect ~finally:(fun () -> end_ ~args:(end_args ()) ~cat name) f
+  end
+
+module Memory = struct
+  type t = {
+    capacity : int;
+    buf : event Queue.t;
+    mutable dropped : int;
+    mutable handle : handle;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Trace.Memory.create: capacity <= 0";
+    let buf = Queue.create () in
+    let t = { capacity; buf; dropped = 0; handle = 0 } in
+    let sink ev =
+      if Queue.length buf >= capacity then begin
+        ignore (Queue.pop buf);
+        t.dropped <- t.dropped + 1
+      end;
+      Queue.push ev buf
+    in
+    t.handle <- install sink;
+    t
+
+  let events t = List.of_seq (Queue.to_seq t.buf)
+  let dropped t = t.dropped
+
+  let clear t =
+    Queue.clear t.buf;
+    t.dropped <- 0
+
+  let detach t = uninstall t.handle
+end
+
+(* ---- Chrome trace-event exporter ---------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | A_str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | A_int i -> string_of_int i
+  | A_float f -> Printf.sprintf "%.17g" f
+  | A_bool b -> if b then "true" else "false"
+
+let phase_code = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let event_json ~t0 ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+       (json_escape ev.ev_name) (json_escape ev.ev_cat)
+       (phase_code ev.ev_phase)
+       ((ev.ev_ts -. t0) *. 1e6));
+  if ev.ev_phase = Instant then Buffer.add_string buf ",\"s\":\"t\"";
+  if ev.ev_args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v)))
+      ev.ev_args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+module Chrome = struct
+  type t = {
+    buf : Buffer.t;
+    t0 : float;
+    mutable count : int;
+    mutable handle : handle;
+  }
+
+  let create () =
+    let buf = Buffer.create 4096 in
+    let t0 = now () in
+    let t = { buf; t0; count = 0; handle = 0 } in
+    let sink ev =
+      if t.count > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json ~t0 ev);
+      t.count <- t.count + 1
+    in
+    t.handle <- install sink;
+    t
+
+  let count t = t.count
+
+  let contents t =
+    Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
+      (Buffer.contents t.buf)
+
+  let write t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (contents t))
+
+  let detach t = uninstall t.handle
+end

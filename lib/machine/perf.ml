@@ -1,3 +1,7 @@
+(* Alias the sibling simulation-trace module before [open Ir]: [Ir] now
+   exports its own [Trace] (the event-tracing layer), which would shadow
+   ours. *)
+module Sim_trace = Trace
 open Ir
 module D = Support.Diag
 module M = Machine_model
@@ -6,7 +10,7 @@ type report = {
   seconds : float;
   loop_seconds : float;
   library_seconds : float;
-  stats : Trace.stats;
+  stats : Sim_trace.stats;
 }
 
 let shape2 (v : Core.value) =
@@ -58,9 +62,9 @@ let time_func model func =
           "perf: found %s — lower Linalg ops to loops or convert them to \
            library calls before timing"
           op.Core.o_name);
-  let addrs = Trace.assign_addresses func in
+  let addrs = Sim_trace.assign_addresses func in
   let hier = M.fresh_hierarchy model in
-  let stats = Trace.empty_stats () in
+  let stats = Sim_trace.empty_stats () in
   let fast_math =
     match Core.find_attr func "fast_math" with
     | Some (Attr.Bool b) -> b
@@ -72,7 +76,7 @@ let time_func model func =
   let pending = ref [] in
   let flush () =
     if !pending <> [] then begin
-      Trace.simulate ~fast_math model hier addrs stats (List.rev !pending);
+      Sim_trace.simulate ~fast_math model hier addrs stats (List.rev !pending);
       pending := []
     end
   in
@@ -89,12 +93,12 @@ let time_func model func =
     (Core.ops_of_block (Core.func_entry func));
   flush ();
   let compute_cycles =
-    (stats.Trace.flops_scalar /. model.M.scalar_flops_per_cycle)
-    +. (stats.Trace.flops_vector /. model.M.vector_flops_per_cycle)
+    (stats.Sim_trace.flops_scalar /. model.M.scalar_flops_per_cycle)
+    +. (stats.Sim_trace.flops_vector /. model.M.vector_flops_per_cycle)
   in
   let cycles =
-    Float.max compute_cycles stats.Trace.mem_cycles
-    +. (stats.Trace.iterations *. model.M.loop_overhead_cycles)
+    Float.max compute_cycles stats.Sim_trace.mem_cycles
+    +. (stats.Sim_trace.iterations *. model.M.loop_overhead_cycles)
   in
   let loop_seconds = M.seconds_of_cycles model cycles in
   {

@@ -6,7 +6,8 @@
 
     [cycles = max(compute, memory) + iterations * loop_overhead]. *)
 
-open Ir
+(* No [open Ir] here: [Ir.Trace] (the event-tracing layer) would shadow
+   the sibling simulation-trace module this interface refers to. *)
 
 type report = {
   seconds : float;
@@ -17,7 +18,7 @@ type report = {
 
 (** [time_func model func] — raises {!Support.Diag.Error} if the function
     still contains Linalg ops (lower or convert them first). *)
-val time_func : Machine_model.t -> Core.op -> report
+val time_func : Machine_model.t -> Ir.Core.op -> report
 
 (** [gflops ~flops report] *)
 val gflops : flops:float -> report -> float

@@ -4,6 +4,12 @@ module A = Affine.Affine_ops
 type placeholder = int
 type array_placeholder = int
 
+type reject = Shape | Unify
+
+let reject_stage = function
+  | Shape -> "op-chain"
+  | Unify -> "access-unification"
+
 type ctx = {
   mutable next_ph : int;
   mutable next_aph : int;
@@ -12,6 +18,8 @@ type ctx = {
   aph_assign : (int, Core.value) Hashtbl.t;  (** array ph -> memref *)
   mutable matched_const : float option;
   mutable used : bool;  (* consumed by a match_block call *)
+  mutable last_reject : reject option;
+      (* which stage rejected the last failed match_block *)
 }
 
 let create_ctx () =
@@ -22,6 +30,7 @@ let create_ctx () =
     aph_assign = Hashtbl.create 8;
     matched_const = None;
     used = false;
+    last_reject = None;
   }
 
 let reset ctx =
@@ -282,6 +291,9 @@ let match_contraction ctx ~out ~in1 ~in2 (b : Core.block) =
                        = 3
                     &&
                     let try_inputs la lb =
+                      (* The op chain matched; any failure past this
+                         point is the unification stage's. *)
+                      ctx.last_reject <- Some Unify;
                       let trail = { entries = [] } in
                       let solve () =
                         match
@@ -325,6 +337,7 @@ let match_init_const ctx ~out (b : Core.block) =
           Core.defining_op (A.stored_value store) )
       with
       | Some f, Some d when Core.op_equal d cst -> (
+          ctx.last_reject <- Some Unify;
           match concrete_access store with
           | Some st ->
               let trail = { entries = [] } in
@@ -346,6 +359,7 @@ let match_copy ctx ~out ~src (b : Core.block) =
          && (match Core.defining_op (A.stored_value store) with
             | Some d -> Core.op_equal d load
             | None -> false) -> (
+      ctx.last_reject <- Some Unify;
       match (concrete_access store, concrete_access load) with
       | Some st, Some ld ->
           let trail = { entries = [] } in
@@ -367,6 +381,10 @@ let match_block ctx pat b =
        or call reset_ctx first";
   ctx.used <- true;
   reset ctx;
+  (* Pessimistically an op-chain rejection; the matchers upgrade it to
+     [Unify] once the statement's op chain has matched and only the
+     access subscripts remain to be unified. *)
+  ctx.last_reject <- Some Shape;
   let ok =
     try
       match pat with
@@ -375,8 +393,10 @@ let match_block ctx pat b =
       | Copy { out; src } -> match_copy ctx ~out ~src b
     with Exit -> false
   in
-  if not ok then reset ctx;
+  if not ok then reset ctx else ctx.last_reject <- None;
   ok
+
+let last_reject ctx = ctx.last_reject
 
 let iv_of ctx ph =
   match Hashtbl.find_opt ctx.ph_assign ph with

@@ -69,6 +69,22 @@ val match_block : ctx -> stmt_pattern -> Core.block -> bool
     placeholders) can be used for another [match_block]. *)
 val reset_ctx : ctx -> unit
 
+(** {2 Rejection reporting} *)
+
+(** Which stage rejected a failed {!match_block}: [Shape] — the block's
+    op chain does not have the pattern's form (op counts, load/store
+    structure, arithmetic ops); [Unify] — the op chain matched, but the
+    array subscripts could not be unified with the pattern accesses. *)
+type reject = Shape | Unify
+
+(** Stage name for remarks: ["op-chain"] / ["access-unification"]. *)
+val reject_stage : reject -> string
+
+(** After a failed [match_block]: the rejecting stage ([None] after a
+    success or before any match). Survives {!reset_ctx}-free re-reads;
+    overwritten by the next [match_block] on this ctx. *)
+val last_reject : ctx -> reject option
+
 (** {2 Reading the solution} (valid only after a successful match) *)
 
 val iv_of : ctx -> placeholder -> Core.value

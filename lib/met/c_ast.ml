@@ -16,7 +16,13 @@ type expr =
 and ref_ = { array : string; subscripts : index list }
 
 type stmt =
-  | S_for of { var : string; lb : int; ub : int; body : stmt list }
+  | S_for of {
+      var : string;
+      lb : int;
+      ub : int;
+      body : stmt list;
+      loc : Support.Loc.t;
+    }
   | S_assign of { lhs : ref_; rhs : expr; loc : Support.Loc.t }
 
 type decl = { d_name : string; d_dims : int list }
@@ -52,7 +58,13 @@ let rec index_vars = function
       index_vars a @ index_vars b
 
 let rec strip_locs_stmt = function
-  | S_for f -> S_for { f with body = List.map strip_locs_stmt f.body }
+  | S_for f ->
+      S_for
+        {
+          f with
+          body = List.map strip_locs_stmt f.body;
+          loc = Support.Loc.unknown;
+        }
   | S_assign a -> S_assign { a with loc = Support.Loc.unknown }
 
 let strip_locs k = { k with k_body = List.map strip_locs_stmt k.k_body }
@@ -79,7 +91,7 @@ let rec pp_expr fmt = function
 let rec pp_stmt_in indent fmt stmt =
   let pad = String.make indent ' ' in
   match stmt with
-  | S_for { var; lb; ub; body } ->
+  | S_for { var; lb; ub; body; _ } ->
       Format.fprintf fmt "%sfor (int %s = %d; %s < %d; ++%s) {\n" pad var lb
         var ub var;
       List.iter (fun s -> pp_stmt_in (indent + 2) fmt s) body;

@@ -27,8 +27,13 @@ type expr =
 and ref_ = { array : string; subscripts : index list }
 
 type stmt =
-  | S_for of { var : string; lb : int; ub : int; body : stmt list }
-      (** [for (int var = lb; var < ub; ++var) body] *)
+  | S_for of {
+      var : string;
+      lb : int;
+      ub : int;
+      body : stmt list;
+      loc : Support.Loc.t;
+    }  (** [for (int var = lb; var < ub; ++var) body] *)
   | S_assign of { lhs : ref_; rhs : expr; loc : Support.Loc.t }
 
 type decl = { d_name : string; d_dims : int list }

@@ -170,6 +170,7 @@ let rec parse_stmt st =
         (L.token_to_string other)
 
 and parse_for st =
+  let for_loc = (peek st).L.loc in
   expect st L.Kw_for;
   expect st L.Lparen;
   expect st L.Kw_int;
@@ -212,7 +213,7 @@ and parse_for st =
         stmts []
     | _ -> [ parse_stmt st ]
   in
-  S_for { var; lb; ub; body }
+  S_for { var; lb; ub; body; loc = for_loc }
 
 let parse_decl st =
   expect st L.Kw_float;

@@ -50,9 +50,9 @@ let group stmts =
 
 let rec stmt = function
   | S_assign _ as s -> [ s ]
-  | S_for { var; lb; ub; body } ->
+  | S_for { var; lb; ub; body; loc } ->
       let body = List.concat_map stmt body in
       group (Array.of_list body)
-      |> List.map (fun g -> S_for { var; lb; ub; body = g })
+      |> List.map (fun g -> S_for { var; lb; ub; body = g; loc })
 
 let kernel k = { k with k_body = List.concat_map stmt k.k_body }

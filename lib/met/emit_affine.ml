@@ -83,17 +83,22 @@ and emit_bin env b f x y =
   let yv = emit_expr env b y in
   f b xv yv
 
+(* Each statement's emission runs under [Core.with_loc], so every op a
+   statement expands to — including ops built inside dialect helpers —
+   carries that statement's C source location. *)
 let rec emit_stmt env b = function
   | S_assign { lhs; rhs; loc } ->
+      Core.with_loc loc @@ fun () ->
       (try check_rank env lhs
        with D.Error (_, msg) -> D.error ~loc msg);
       let value = emit_expr env b rhs in
       ignore (A.store b value (lookup_array env lhs.array) (ref_access env lhs))
-  | S_for { var; lb; ub; body } ->
+  | S_for { var; lb; ub; body; loc } ->
       if Hashtbl.mem env.loop_vars var then
-        D.errorf "loop variable %S shadows an enclosing loop" var;
+        D.errorf ~loc "loop variable %S shadows an enclosing loop" var;
       ignore
-        (A.for_const b ~hint:var ~lb ~ub (fun b iv ->
+        (Core.with_loc loc @@ fun () ->
+         A.for_const b ~hint:var ~lb ~ub (fun b iv ->
              Hashtbl.replace env.loop_vars var iv;
              List.iter (emit_stmt env b) body;
              Hashtbl.remove env.loop_vars var))

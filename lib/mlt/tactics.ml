@@ -45,6 +45,12 @@ let fill_pattern () =
     ~roots:(Rewriter.Roots [ "affine.for" ])
     ~generated_ops:[ "linalg.fill" ]
     (fun ctx op ->
+      let miss stage msg =
+        if Remark.enabled () then
+          Remark.remark ~loc:op.Core.o_loc ~pattern:"raise-fill" ~stage
+            Remark.Missed "%s" msg;
+        false
+      in
       match
         if A.is_for op then Some (Affine.Loops.perfect_nest op) else None
       with
@@ -57,31 +63,44 @@ let fill_pattern () =
           let pat =
             Ac.Init_const { out = Ac.access arr (List.map Ac.p phs) }
           in
-          Ac.match_block actx pat (A.for_body innermost)
-          &&
-          let memref = Ac.array_of actx arr in
-          (match Typ.static_shape memref.Core.v_typ with
-          | Some shape when List.length shape = depth ->
-              (* Full coverage: each subscript spans its dimension. *)
-              List.for_all2
-                (fun ph extent -> Ac.solution_extent actx ph = Some extent)
-                phs shape
-              (* Every nest loop is bound (no repeating outer loop). *)
-              && List.for_all
-                   (fun iv ->
-                     List.exists
-                       (fun ph -> Core.value_equal (Ac.iv_of actx ph) iv)
-                       phs)
-                   (Affine.Loops.nest_ivs loops)
-          | _ -> false)
-          &&
-          begin
-            ignore
-              (Linalg.Linalg_ops.fill ctx.Rewriter.builder
-                 ~value:(Ac.const_of actx) memref);
-            Core.erase_op (List.hd loops);
-            true
-          end
+          if not (Ac.match_block actx pat (A.for_body innermost)) then
+            (match Ac.last_reject actx with
+            | Some Ac.Unify ->
+                miss "access-unification"
+                  "store found, but its subscripts do not unify with the \
+                   nest's induction variables"
+            | _ ->
+                miss "op-chain"
+                  "innermost statement is not a constant store")
+          else
+            let memref = Ac.array_of actx arr in
+            let covered =
+              match Typ.static_shape memref.Core.v_typ with
+              | Some shape when List.length shape = depth ->
+                  (* Full coverage: each subscript spans its dimension. *)
+                  List.for_all2
+                    (fun ph extent -> Ac.solution_extent actx ph = Some extent)
+                    phs shape
+                  (* Every nest loop is bound (no repeating outer loop). *)
+                  && List.for_all
+                       (fun iv ->
+                         List.exists
+                           (fun ph -> Core.value_equal (Ac.iv_of actx ph) iv)
+                           phs)
+                       (Affine.Loops.nest_ivs loops)
+              | _ -> false
+            in
+            if not covered then
+              miss "coverage"
+                "the initialized region does not cover the array's full \
+                 extent"
+            else begin
+              ignore
+                (Linalg.Linalg_ops.fill ctx.Rewriter.builder
+                   ~value:(Ac.const_of actx) memref);
+              Core.erase_op (List.hd loops);
+              true
+            end
       | _ -> false)
 
 let all () = (fill_pattern () :: standard ()) @ paper_contractions ()

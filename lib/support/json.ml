@@ -1,0 +1,192 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Malformed of string
+
+type st = { src : string; mutable pos : int }
+
+let fail st msg = raise (Malformed (Printf.sprintf "at byte %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.equal (String.sub st.src st.pos n) word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st "invalid \\u escape"
+                in
+                st.pos <- st.pos + 4;
+                (* Good enough for validation: store the code point raw
+                   (no UTF-8 encoding, no surrogate pairing). *)
+                Buffer.add_char buf (Char.chr (code land 0xff))
+            | c -> fail st (Printf.sprintf "invalid escape \\%C" c));
+            go ())
+    | Some c when Char.code c < 0x20 -> fail st "control character in string"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while p =
+    let rec go () =
+      match peek st with
+      | Some c when p c ->
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  if peek st = Some '-' then advance st;
+  consume_while (fun c -> c >= '0' && c <= '9');
+  if peek st = Some '.' then begin
+    advance st;
+    consume_while (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ((key, v) :: acc)
+      | Some '}' ->
+          advance st;
+          List.rev ((key, v) :: acc)
+      | _ -> fail st "expected ',' or '}' in object"
+    in
+    Obj (members [])
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          elements (v :: acc)
+      | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+      | _ -> fail st "expected ',' or ']' in array"
+    in
+    List (elements [])
+  end
+
+let parse src =
+  let st = { src; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then
+      fail st "trailing characters after JSON value";
+    Ok v
+  with Malformed msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,0 +1,19 @@
+(** A minimal JSON reader, used to validate the tool-emitted JSON reports
+    (pass statistics, Chrome traces) in tests and CI without taking on a
+    JSON dependency. Strict enough for well-formedness checking; string
+    decoding of [\u] escapes is lossy (validation, not round-tripping). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse src] parses exactly one JSON value spanning all of [src]
+    (modulo whitespace); [Error msg] carries a byte offset. *)
+val parse : string -> (t, string) result
+
+(** [member key v] — field lookup on [Obj]; [None] on other values. *)
+val member : string -> t -> t option

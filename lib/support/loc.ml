@@ -4,6 +4,11 @@ let unknown = { file = "<unknown>"; line = 0; col = 0 }
 
 let make ~file ~line ~col = { file; line; col }
 
+let equal a b =
+  String.equal a.file b.file && a.line = b.line && a.col = b.col
+
+let is_known t = not (equal t unknown)
+
 let pp fmt { file; line; col } =
   if line = 0 then Format.fprintf fmt "%s" file
   else Format.fprintf fmt "%s:%d:%d" file line col

@@ -10,6 +10,11 @@ val unknown : t
 
 val make : file:string -> line:int -> col:int -> t
 
+val equal : t -> t -> bool
+
+(** [is_known t] — is [t] structurally different from {!unknown}? *)
+val is_known : t -> bool
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

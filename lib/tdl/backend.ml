@@ -203,49 +203,86 @@ let compile ?(target = To_linalg) (t : Tds.tactic) =
          D.errorf
            "backend: tactic %s cannot target the affine matmul raising" t.name);
   let depth = List.length prepared.vars in
+  (* A nest of the right depth that then fails a later stage is a
+     near-miss worth a structured remark ([--remarks=missed]); nests of
+     the wrong depth are not reported — every tactic probing every loop
+     would drown the signal. *)
   let apply (ctx : Rewriter.ctx) (op : Core.op) =
+    let miss stage msg =
+      if Remark.enabled () then
+        Remark.remark ~loc:op.Core.o_loc ~pattern:t.name ~stage Remark.Missed
+          "%s" msg;
+      false
+    in
     match Matchers.Structural.matched_nest ~depth op with
     | None -> false
     | Some loops ->
-        List.for_all normalized_loop loops
-        &&
-        let innermost = List.nth loops (depth - 1) in
-        let actx = Ac.create_ctx () in
-        let pat, phs, aphs = prepared.mk_pattern actx in
-        Ac.match_block actx pat (A.for_body innermost)
-        &&
-        (* All extents known, and the binding covers exactly the nest. *)
-        let extents =
-          List.map (fun (v, ph) -> (v, Ac.solution_extent actx ph)) phs
-        in
-        List.for_all (fun (_, e) -> e <> None) extents
-        &&
-        let extent_of v = Option.get (List.assoc v extents) in
-        let nest_ivs = Affine.Loops.nest_ivs loops in
-        let bound_ivs = List.map (fun (_, ph) -> Ac.iv_of actx ph) phs in
-        List.for_all
-          (fun iv -> List.exists (Core.value_equal iv) bound_ivs)
-          nest_ivs
-        && coverage_ok ~extent_of
-             ~memref_of:(fun tensor -> Ac.array_of actx (List.assoc tensor aphs))
-             prepared.accesses
-        &&
-        begin
-          (* Build the replacement. *)
-          let env = Hashtbl.create 8 in
-          let shapes = Hashtbl.create 8 in
-          List.iter
-            (fun (tensor, aph) ->
-              let memref = Ac.array_of actx aph in
-              Hashtbl.replace env tensor memref;
-              match Typ.static_shape memref.Core.v_typ with
-              | Some s -> Hashtbl.replace shapes tensor s
-              | None -> ())
-            aphs;
-          infer_shapes t.builders shapes;
-          emit_steps ~target ctx.builder t.builders env shapes;
-          Core.erase_op (List.hd loops);
-          true
+        if not (List.for_all normalized_loop loops) then
+          miss "control-flow"
+            "loop nest is not normalized (constant zero-based bounds with \
+             unit step required)"
+        else begin
+          let innermost = List.nth loops (depth - 1) in
+          let actx = Ac.create_ctx () in
+          let pat, phs, aphs = prepared.mk_pattern actx in
+          if not (Ac.match_block actx pat (A.for_body innermost)) then
+            match Ac.last_reject actx with
+            | Some Ac.Unify ->
+                miss "access-unification"
+                  "statement ops match, but the array subscripts do not \
+                   unify with the pattern accesses"
+            | _ ->
+                miss "op-chain"
+                  "innermost statement is not a single out += in1 * in2 \
+                   contraction"
+          else begin
+            (* All extents known, and the binding covers exactly the nest. *)
+            let extents =
+              List.map (fun (v, ph) -> (v, Ac.solution_extent actx ph)) phs
+            in
+            if List.exists (fun (_, e) -> e = None) extents then
+              miss "coverage"
+                "an induction variable's loop extent is not a known constant"
+            else begin
+              let extent_of v = Option.get (List.assoc v extents) in
+              let nest_ivs = Affine.Loops.nest_ivs loops in
+              let bound_ivs = List.map (fun (_, ph) -> Ac.iv_of actx ph) phs in
+              if
+                not
+                  (List.for_all
+                     (fun iv -> List.exists (Core.value_equal iv) bound_ivs)
+                     nest_ivs)
+              then
+                miss "coverage"
+                  "a loop of the nest is not bound by any pattern index"
+              else if
+                not
+                  (coverage_ok ~extent_of
+                     ~memref_of:(fun tensor ->
+                       Ac.array_of actx (List.assoc tensor aphs))
+                     prepared.accesses)
+              then
+                miss "coverage"
+                  "the accesses do not span their arrays' full extents"
+              else begin
+                (* Build the replacement. *)
+                let env = Hashtbl.create 8 in
+                let shapes = Hashtbl.create 8 in
+                List.iter
+                  (fun (tensor, aph) ->
+                    let memref = Ac.array_of actx aph in
+                    Hashtbl.replace env tensor memref;
+                    match Typ.static_shape memref.Core.v_typ with
+                    | Some s -> Hashtbl.replace shapes tensor s
+                    | None -> ())
+                  aphs;
+                infer_shapes t.builders shapes;
+                emit_steps ~target ctx.builder t.builders env shapes;
+                Core.erase_op (List.hd loops);
+                true
+              end
+            end
+          end
         end
   in
   let generated_of_builder = function

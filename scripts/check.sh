@@ -12,5 +12,16 @@ dune exec bench/main.exe -- micro --quick
 dune exec bench/main.exe -- interp --quick
 # Smoke-run the frozen-pattern-set comparison: fails if op-indexed dispatch
 # ever changes rewriting results, or if its match-attempt reduction on the
-# polybench raising pipeline drops below 5x.
+# polybench raising pipeline drops below 5x. (No --trace here: a sink being
+# installed would skip the disabled-trace overhead assertion.)
 dune exec bench/main.exe -- patterns --quick
+# Smoke the observability surface: --trace must produce a loadable Chrome
+# trace (non-empty traceEvents) and --pass-stats a well-formed JSON report
+# (schemas in docs/OBSERVABILITY.md).
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+dune exec bin/mlt_opt.exe -- examples/kernels/gemm.c \
+  --raise-affine-to-linalg --trace "$obs_tmp/trace.json" --pass-stats \
+  -o "$obs_tmp/out.mlir" > "$obs_tmp/stats.json"
+dune exec tools/json_check/json_check.exe -- "$obs_tmp/trace.json" traceEvents
+dune exec tools/json_check/json_check.exe -- "$obs_tmp/stats.json"

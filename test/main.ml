@@ -18,6 +18,9 @@ let () =
       ("delinearize", Test_delinearize.suite);
       ("random", Test_random.suite);
       ("pass-manager", Test_pass.suite);
+      ("trace", Test_trace.suite);
+      ("provenance", Test_provenance.suite);
+      ("remarks", Test_remarks.suite);
       ("blis-schedule", Test_blis.suite);
       ("unroll", Test_unroll.suite);
       ("misc", Test_misc.suite);

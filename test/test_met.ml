@@ -11,7 +11,7 @@ let test_parse_gemm () =
   Alcotest.(check string) "name" "gemm" k.C_ast.k_name;
   Alcotest.(check int) "params" 3 (List.length k.k_params);
   match k.k_body with
-  | [ C_ast.S_for { var = "i"; lb = 0; ub = 8; body = [ S_for _ ] } ] -> ()
+  | [ C_ast.S_for { var = "i"; lb = 0; ub = 8; body = [ S_for _ ]; _ } ] -> ()
   | _ -> Alcotest.fail "unexpected body shape"
 
 let test_parse_compound_assign () =

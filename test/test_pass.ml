@@ -197,6 +197,82 @@ let test_reports_and_summaries () =
   Alcotest.(check bool) "summary json has runs" true
     (Astring_contains.contains (Pass.summary_json pm) "\"runs\":2")
 
+let test_summary_merges_pattern_stats () =
+  (* Two instrumented runs of the raising pass: [summarize] must fold the
+     per-run [patterns] arrays into one per-pattern row with summed
+     counters, and [summary_json] must render that array. *)
+  let pm = Pass.create_manager () in
+  Pass.add pm (Mlt.Tactics.raise_to_linalg_pass ());
+  let run_once () =
+    Pass.run pm (Met.Emit_affine.translate (W.mm ~ni:8 ~nj:8 ~nk:8 ()))
+  in
+  run_once ();
+  run_once ();
+  (* Each run recorded its own per-pattern deltas... *)
+  let per_run =
+    List.map
+      (fun t ->
+        List.find
+          (fun (p : Rewriter.pattern_stat) -> p.ps_name = "GEMM")
+          t.Pass.pattern_stats)
+      (Pass.timings pm)
+  in
+  Alcotest.(check int) "two timing entries" 2 (List.length per_run);
+  List.iter
+    (fun (p : Rewriter.pattern_stat) ->
+      Alcotest.(check int) "one hit per run" 1 p.ps_hits)
+    per_run;
+  (* ...and the summary folds them. *)
+  (match Pass.summarize pm with
+  | [ s ] ->
+      Alcotest.(check string) "one row" "raise-affine-to-linalg" s.Pass.s_name;
+      Alcotest.(check int) "two runs" 2 s.Pass.s_runs;
+      let gemm =
+        List.find
+          (fun (p : Rewriter.pattern_stat) -> p.ps_name = "GEMM")
+          s.Pass.s_patterns
+      in
+      Alcotest.(check int) "hits summed across runs" 2 gemm.ps_hits;
+      Alcotest.(check bool) "attempts summed too" true (gemm.ps_attempts >= 2);
+      Alcotest.(check int) "activations summed" 2 gemm.ps_activations;
+      let fill =
+        List.find
+          (fun (p : Rewriter.pattern_stat) -> p.ps_name = "raise-fill")
+          s.Pass.s_patterns
+      in
+      Alcotest.(check int) "other participants merged as well" 2 fill.ps_hits
+  | ss -> Alcotest.failf "expected one summary row, got %d" (List.length ss));
+  let json = Pass.summary_json pm in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary json contains %s" needle)
+        true
+        (Astring_contains.contains json needle))
+    [ "\"patterns\":["; "\"name\":\"GEMM\""; "\"hits\":2" ]
+
+let test_diag_error_names_pass_and_loc () =
+  (* A Diag.Error raised mid-pass is re-reported with the failing pass's
+     qualified name; a location attached by the pass body survives. *)
+  let loc = Support.Loc.make ~file:"k.c" ~line:7 ~col:2 in
+  let pm = Pass.create_manager () in
+  Pass.add_pipeline pm "pipe"
+    [
+      Pass.make ~name:"ok" (fun _ -> ());
+      Pass.make ~name:"boom" (fun _ ->
+          raise (Support.Diag.Error (loc, "kaboom")));
+    ];
+  let m = Met.Emit_affine.translate (W.mm ~ni:4 ~nj:4 ~nk:4 ()) in
+  match Support.Diag.wrap (fun () -> Pass.run pm m) with
+  | Ok () -> Alcotest.fail "expected the pass to raise"
+  | Error msg ->
+      Alcotest.(check bool) "qualified pass name" true
+        (Astring_contains.contains msg "pass 'pipe/boom'");
+      Alcotest.(check bool) "original message kept" true
+        (Astring_contains.contains msg "kaboom");
+      Alcotest.(check bool) "location kept" true
+        (Astring_contains.contains msg "k.c:7:2")
+
 let test_dialect_registry () =
   Std_dialect.Arith.register ();
   Std_dialect.Scf.register ();

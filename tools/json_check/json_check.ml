@@ -1,0 +1,32 @@
+(* json_check FILE [KEY...]: exit 0 iff FILE parses as strict JSON and
+   every KEY names a non-empty array member of the top-level object.
+   Used by scripts/check.sh to validate the --trace / --pass-stats
+   outputs without a system JSON tool dependency. *)
+
+module J = Support.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: keys ->
+      let src =
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error e -> fail "json_check: %s" e
+      in
+      (match J.parse src with
+      | Error msg -> fail "json_check: %s: %s" file msg
+      | Ok json ->
+          List.iter
+            (fun key ->
+              match J.member key json with
+              | Some (J.List (_ :: _)) -> ()
+              | Some (J.List []) ->
+                  fail "json_check: %s: array %S is empty" file key
+              | Some _ ->
+                  fail "json_check: %s: member %S is not an array" file key
+              | None -> fail "json_check: %s: no member %S" file key)
+            keys)
+  | _ ->
+      prerr_endline "usage: json_check FILE [KEY...]";
+      exit 2
