@@ -527,6 +527,162 @@ let patterns_section () =
       "bench patterns: indexed and unindexed results diverge on %d kernels"
       !mismatches
 
+(* ---------------- Sharded batch compilation ------------------------------ *)
+
+(* The mlt-batch architecture end-to-end: the polybench manifest compiled
+   sequentially (the oracle) and on a 4-domain pool must produce
+   byte-identical per-input IR and identical pass-stat signatures; a
+   deliberately crashing input must fail only its own manifest entry.
+   The >= 2.5x wall-clock speedup target is asserted when the machine
+   actually has >= 4 cores (reported, not asserted, on smaller boxes —
+   domains time-share a single core in CI containers). Writes
+   BENCH_batch.json. *)
+let batch () =
+  sep "Sharded batch compilation: 4-domain pool vs sequential oracle";
+  let pool_domains = 4 in
+  let reps = if !quick then 2 else 4 in
+  let configs = [| P.Mlt_linalg; P.Mlt_blas; P.Mlt_affine_blis |] in
+  let entries =
+    List.concat
+      (List.init reps (fun rep ->
+           List.mapi
+             (fun i (name, src, _) ->
+               {
+                 Batch.Manifest.e_name = Printf.sprintf "%s#%d" name rep;
+                 e_source = Batch.Manifest.Inline src;
+                 e_config = configs.((i + rep) mod Array.length configs);
+               })
+             (W.figure9_suite ())))
+  in
+  let manifest = Batch.Manifest.of_entries entries in
+  Printf.printf "manifest: %d entries (%d kernels x %d reps)\n%!"
+    (Batch.Manifest.size manifest)
+    (List.length (W.figure9_suite ()))
+    reps;
+  let seq = Batch.Driver.run ~domains:1 manifest in
+  let par = Batch.Driver.run ~domains:pool_domains manifest in
+  (* Per-input determinism: byte-identical IR, identical stats. *)
+  let ir_mismatches = ref 0 and stat_mismatches = ref 0 in
+  List.iter2
+    (fun (s : Batch.Driver.entry_result) (p : Batch.Driver.entry_result) ->
+      if not (String.equal s.Batch.Driver.r_ir p.Batch.Driver.r_ir) then begin
+        incr ir_mismatches;
+        Printf.printf "  IR MISMATCH on %s\n" s.Batch.Driver.r_name
+      end;
+      if
+        not
+          (String.equal
+             (Batch.Driver.result_signature s)
+             (Batch.Driver.result_signature p))
+      then begin
+        incr stat_mismatches;
+        Printf.printf "  STAT MISMATCH on %s\n" s.Batch.Driver.r_name
+      end)
+    seq.Batch.Driver.rp_results par.Batch.Driver.rp_results;
+  let aggregate_same =
+    String.equal
+      (Batch.Driver.summary_signature seq.Batch.Driver.rp_summary)
+      (Batch.Driver.summary_signature par.Batch.Driver.rp_summary)
+  in
+  let speedup =
+    seq.Batch.Driver.rp_wall_seconds /. par.Batch.Driver.rp_wall_seconds
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "sequential:      %8.3f s\n" seq.Batch.Driver.rp_wall_seconds;
+  Printf.printf "%d domains:       %8.3f s   (%.2fx, %d core%s available)\n"
+    pool_domains par.Batch.Driver.rp_wall_seconds speedup cores
+    (if cores = 1 then "" else "s");
+  Printf.printf "per-input IR byte-identical:   %s\n"
+    (if !ir_mismatches = 0 then "yes" else "NO");
+  Printf.printf "per-input stats identical:     %s\n"
+    (if !stat_mismatches = 0 then "yes" else "NO");
+  Printf.printf "aggregated pass stats identical: %s\n"
+    (if aggregate_same then "yes" else "NO");
+  (* Fault isolation: a parse error and a mid-pipeline diagnostic, mixed
+     into the manifest, must each fail exactly their own entry. *)
+  let crash_entries =
+    [
+      {
+        Batch.Manifest.e_name = "crash-parse";
+        e_source = Batch.Manifest.Inline "void broken(float A[8][8]) {";
+        e_config = P.Mlt_linalg;
+      };
+      {
+        Batch.Manifest.e_name = "crash-two-kernels";
+        e_source =
+          Batch.Manifest.Inline
+            "void f(float A[4]) { for (int i = 0; i < 4; ++i) A[i] = 0.0; }\n\
+             void g(float A[4]) { for (int i = 0; i < 4; ++i) A[i] = 1.0; }";
+        e_config = P.Mlt_linalg;
+      };
+    ]
+  in
+  let insert_at k x xs =
+    let rec go i = function
+      | rest when i = k -> x :: rest
+      | [] -> [ x ]
+      | y :: rest -> y :: go (i + 1) rest
+    in
+    go 0 xs
+  in
+  let faulty =
+    Batch.Manifest.of_entries
+      (insert_at 3 (List.hd crash_entries)
+         (insert_at 7 (List.nth crash_entries 1) entries))
+  in
+  let frun = Batch.Driver.run ~domains:pool_domains faulty in
+  let failed_names =
+    List.filter_map
+      (fun (r : Batch.Driver.entry_result) ->
+        match r.Batch.Driver.r_status with
+        | Batch.Driver.Failed _ -> Some r.Batch.Driver.r_name
+        | Batch.Driver.Done -> None)
+      frun.Batch.Driver.rp_results
+  in
+  let fault_isolated =
+    List.sort compare failed_names
+    = List.sort compare [ "crash-parse"; "crash-two-kernels" ]
+  in
+  Printf.printf
+    "fault isolation: %d/%d entries failed (%s) -- %s\n"
+    (Batch.Driver.failed_count frun)
+    (List.length frun.Batch.Driver.rp_results)
+    (String.concat ", " failed_names)
+    (if fault_isolated then "isolated" else "NOT ISOLATED");
+  let speedup_target = 2.5 in
+  let assert_speedup = cores >= pool_domains in
+  let oc = open_out "BENCH_batch.json" in
+  Printf.fprintf oc
+    "{\n  \"quick\": %b,\n  \"entries\": %d,\n  \"domains\": %d,\n  \
+     \"cores\": %d,\n  \"seq_seconds\": %.6f,\n  \"par_seconds\": %.6f,\n  \
+     \"speedup\": %.3f,\n  \"speedup_target\": %.2f,\n  \
+     \"speedup_asserted\": %b,\n  \"ir_identical\": %b,\n  \
+     \"stats_identical\": %b,\n  \"aggregate_identical\": %b,\n  \
+     \"fault_isolated\": %b\n}\n"
+    !quick
+    (Batch.Manifest.size manifest)
+    pool_domains cores seq.Batch.Driver.rp_wall_seconds
+    par.Batch.Driver.rp_wall_seconds speedup speedup_target assert_speedup
+    (!ir_mismatches = 0) (!stat_mismatches = 0) aggregate_same fault_isolated;
+  close_out oc;
+  Printf.printf "wrote BENCH_batch.json\n";
+  if !ir_mismatches > 0 || !stat_mismatches > 0 || not aggregate_same then
+    Support.Diag.errorf
+      "bench batch: %d-domain run diverges from the sequential oracle"
+      pool_domains;
+  if not fault_isolated then
+    Support.Diag.errorf
+      "bench batch: crashing inputs did not fail in isolation";
+  if assert_speedup && speedup < speedup_target then
+    Support.Diag.errorf
+      "bench batch: %.2fx speedup on %d domains below the %.1fx target"
+      speedup pool_domains speedup_target;
+  if not assert_speedup then
+    Printf.printf
+      "(speedup target %.1fx not asserted: only %d core%s available)\n"
+      speedup_target cores
+      (if cores = 1 then "" else "s")
+
 (* ---------------- Ablations (design choices from DESIGN.md) ------------- *)
 
 let ablation () =
@@ -684,7 +840,7 @@ let () =
     if args = [] || args = [ "all" ] then
       [
         "fig8"; "sec51"; "fig9"; "table2"; "overhead"; "ablation"; "interp";
-        "patterns"; "micro";
+        "patterns"; "micro"; "batch";
       ]
     else args
   in
@@ -700,6 +856,7 @@ let () =
         | "interp" -> interp ()
         | "patterns" -> patterns_section ()
         | "micro" -> micro ()
+        | "batch" -> batch ()
         | other -> Printf.eprintf "unknown section %S\n" other)
       sections
   in

@@ -1,0 +1,264 @@
+type status = Done | Failed of string
+
+type entry_result = {
+  r_name : string;
+  r_config : string;
+  r_shard : int;
+  r_status : status;
+  r_ir : string;
+  r_seconds : float;
+  r_match_attempts : int;
+  r_rewrites : int;
+  r_summary : Ir.Pass.summary list;
+  r_remarks : string list;
+}
+
+type report = {
+  rp_domains : int;
+  rp_wall_seconds : float;
+  rp_results : entry_result list;
+  rp_summary : Ir.Pass.summary list;
+}
+
+let ok_count rp =
+  List.length
+    (List.filter (fun r -> r.r_status = Done) rp.rp_results)
+
+let failed_count rp = List.length rp.rp_results - ok_count rp
+
+(* ---- per-entry compilation (the FaultHandler boundary) ------------------ *)
+
+(* Everything an entry does — reading its file, parsing, the whole pass
+   pipeline, printing — happens inside this function, and any exception it
+   raises is converted into a [Failed] result. One crashing input
+   therefore fails exactly its own manifest entry; the shard moves on to
+   its next entry. *)
+let compile_entry ~capture_remarks ~shard (e : Manifest.entry) =
+  let t0 = Unix.gettimeofday () in
+  let remarks_rev = ref [] in
+  let attempts0, rewrites0 = Ir.Rewriter.counter_totals () in
+  let with_remark_capture f =
+    if capture_remarks then
+      Ir.Remark.with_sink
+        (fun r -> remarks_rev := Ir.Remark.to_string r :: !remarks_rev)
+        f
+    else f ()
+  in
+  let finish status ir summary =
+    let attempts1, rewrites1 = Ir.Rewriter.counter_totals () in
+    {
+      r_name = e.Manifest.e_name;
+      r_config = Mlt.Pipeline.config_name e.Manifest.e_config;
+      r_shard = shard;
+      r_status = status;
+      r_ir = ir;
+      r_seconds = Unix.gettimeofday () -. t0;
+      r_match_attempts = attempts1 - attempts0;
+      r_rewrites = rewrites1 - rewrites0;
+      r_summary = summary;
+      r_remarks = List.rev !remarks_rev;
+    }
+  in
+  match
+    with_remark_capture (fun () ->
+        let src = Manifest.source_text e in
+        let file =
+          match e.Manifest.e_source with
+          | Manifest.File path -> Some path
+          | Manifest.Inline _ -> None
+        in
+        let m =
+          if Manifest.is_ir e then Ir.Parser.parse_module ?file src
+          else Met.Emit_affine.translate ?file src
+        in
+        let pm = Ir.Pass.create_manager () in
+        let m = Mlt.Pipeline.prepare_module ~pm e.Manifest.e_config m in
+        (Ir.Printer.op_to_string m ^ "\n", Ir.Pass.summarize pm))
+  with
+  | ir, summary -> finish Done ir summary
+  | exception Support.Diag.Error (loc, msg) ->
+      finish (Failed (Support.Diag.to_string loc msg)) "" []
+  | exception exn -> finish (Failed (Printexc.to_string exn)) "" []
+
+(* ---- the domain pool ---------------------------------------------------- *)
+
+let run ?(domains = 1) ?(capture_remarks = false) manifest =
+  let entries = Array.of_list (Manifest.entries manifest) in
+  let n = Array.length entries in
+  let domains = max 1 (min domains (max 1 n)) in
+  let results : entry_result option array = Array.make n None in
+  (* Round-robin sharding: entry [i] belongs to shard [i mod domains].
+     Each result slot is written by exactly one domain, so the plain
+     array needs no synchronization; [Domain.join] publishes the
+     writes. *)
+  let work shard () =
+    let i = ref shard in
+    while !i < n do
+      results.(!i) <-
+        Some (compile_entry ~capture_remarks ~shard entries.(!i));
+      i := !i + domains
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  if domains = 1 then work 0 ()
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun s -> Domain.spawn (work (s + 1)))
+    in
+    (* Shard 0 runs on the calling domain — its listener/sink/counter
+       state is domain-local, so this does not disturb the caller beyond
+       advancing its own rewriter counters. *)
+    work 0 ();
+    List.iter Domain.join spawned
+  end;
+  let wall = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> failwith "batch: unfilled result slot")
+         results)
+  in
+  (* ResultAggregator: fold per-entry pass summaries in manifest order —
+     independent of which domain compiled what, the aggregate is the one
+     a sequential run would produce (timings aside). *)
+  let merged =
+    List.fold_left
+      (fun acc r -> Ir.Pass.merge_summaries acc r.r_summary)
+      [] results
+  in
+  {
+    rp_domains = domains;
+    rp_wall_seconds = wall;
+    rp_results = results;
+    rp_summary = merged;
+  }
+
+(* ---- deterministic signatures ------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Render summaries without the wall-clock fields, so two runs of the
+   same work can be compared for equality: pass/pattern counters are
+   deterministic, seconds are not. *)
+let summary_signature summaries =
+  let pattern (p : Ir.Rewriter.pattern_stat) =
+    Printf.sprintf "%s:%d/%d/%d" p.ps_name p.ps_attempts p.ps_hits
+      p.ps_activations
+  in
+  String.concat "\n"
+    (List.map
+       (fun (s : Ir.Pass.summary) ->
+         Printf.sprintf "%s runs=%d matches=%d rewrites=%d ops=%+d [%s]"
+           s.s_name s.s_runs s.s_match_attempts s.s_rewrites s.s_ops_delta
+           (String.concat " " (List.map pattern s.s_patterns)))
+       summaries)
+
+let result_signature r =
+  Printf.sprintf "%s|%s|%s|%s"
+    r.r_name r.r_config
+    (match r.r_status with Done -> "ok" | Failed m -> "error:" ^ m)
+    (summary_signature r.r_summary)
+
+(* ---- report ------------------------------------------------------------- *)
+
+let status_fields = function
+  | Done -> [ ("status", "\"ok\"") ]
+  | Failed msg ->
+      [ ("status", "\"error\""); ("error", "\"" ^ json_escape msg ^ "\"") ]
+
+let json_of_fields fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ v) fields)
+  ^ "}"
+
+let entry_json r =
+  json_of_fields
+    ([
+       ("name", "\"" ^ json_escape r.r_name ^ "\"");
+       ("pipeline", "\"" ^ json_escape r.r_config ^ "\"");
+       ("shard", string_of_int r.r_shard);
+     ]
+    @ status_fields r.r_status
+    @ [
+        ("seconds", Printf.sprintf "%.9f" r.r_seconds);
+        ("match_attempts", string_of_int r.r_match_attempts);
+        ("rewrites", string_of_int r.r_rewrites);
+        ( "remarks",
+          "["
+          ^ String.concat ","
+              (List.map (fun m -> "\"" ^ json_escape m ^ "\"") r.r_remarks)
+          ^ "]" );
+        ("passes", Ir.Pass.summaries_json r.r_summary);
+      ])
+
+let report_json rp =
+  json_of_fields
+    [
+      ("domains", string_of_int rp.rp_domains);
+      ("wall_seconds", Printf.sprintf "%.9f" rp.rp_wall_seconds);
+      ("ok", string_of_int (ok_count rp));
+      ("failed", string_of_int (failed_count rp));
+      ( "entries",
+        "[" ^ String.concat "," (List.map entry_json rp.rp_results) ^ "]" );
+      ("passes", Ir.Pass.summaries_json rp.rp_summary);
+    ]
+
+(* ---- sharded output ----------------------------------------------------- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+(* Per-shard subdirectories mirror how each domain could stream its own
+   output file without contending on a shared writer; the report at the
+   top level is the aggregated view. *)
+let write_outputs ~dir rp =
+  mkdir_p dir;
+  List.iter
+    (fun r ->
+      match r.r_status with
+      | Failed _ -> ()
+      | Done ->
+          let shard_dir =
+            Filename.concat dir (Printf.sprintf "shard-%d" r.r_shard)
+          in
+          mkdir_p shard_dir;
+          let path =
+            Filename.concat shard_dir (sanitize r.r_name ^ ".mlir")
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc r.r_ir))
+    rp.rp_results;
+  let report_path = Filename.concat dir "report.json" in
+  Out_channel.with_open_text report_path (fun oc ->
+      Out_channel.output_string oc (report_json rp);
+      Out_channel.output_char oc '\n')

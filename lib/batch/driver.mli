@@ -1,0 +1,74 @@
+(** The sharded multi-domain batch compiler: shards a {!Manifest} across
+    a pool of OCaml domains, compiles every entry through its configured
+    {!Mlt.Pipeline}, isolates per-entry faults, and aggregates results
+    deterministically (docs/CONCURRENCY.md describes the state model
+    that makes the domain pool sound).
+
+    Roles, after the docudactyl HPC pipeline: manifest loading
+    ({!Manifest}), sharding + the domain pool ({!run}), fault handling
+    (per-entry — a crashing input fails its own manifest entry only),
+    sharded output ({!write_outputs}), and result aggregation (manifest
+    order, so reports are independent of domain scheduling). *)
+
+type status = Done | Failed of string
+
+type entry_result = {
+  r_name : string;
+  r_config : string;  (** pipeline config name *)
+  r_shard : int;  (** which shard (= domain index) compiled it *)
+  r_status : status;
+  r_ir : string;  (** printed IR; [""] when failed *)
+  r_seconds : float;
+  r_match_attempts : int;  (** rewriter counter delta for this entry *)
+  r_rewrites : int;
+  r_summary : Ir.Pass.summary list;  (** per-pass stats for this entry *)
+  r_remarks : string list;  (** captured remarks, emission order *)
+}
+
+type report = {
+  rp_domains : int;
+  rp_wall_seconds : float;
+  rp_results : entry_result list;  (** manifest order, all entries *)
+  rp_summary : Ir.Pass.summary list;
+      (** per-entry summaries merged in manifest order
+          ({!Ir.Pass.merge_summaries}) — deterministic, schedule-independent *)
+}
+
+val ok_count : report -> int
+val failed_count : report -> int
+
+(** [run ~domains manifest] compiles every entry. [domains] (default 1,
+    clamped to the entry count) sets the pool size: entry [i] goes to
+    shard [i mod domains]; shard 0 runs on the calling domain, the rest
+    on spawned domains. With [domains = 1] no domain is spawned — the
+    sequential oracle the tests compare against. [capture_remarks]
+    (default false) installs a per-entry remark sink and records the
+    rendered remarks in the result (off by default: an installed sink
+    makes tactics compute near-miss explanations, which costs compile
+    time).
+
+    Faults: any exception an entry raises ([Diag.Error] or otherwise) is
+    caught at the entry boundary and recorded as [Failed]; the run and
+    every other entry complete normally. *)
+val run : ?domains:int -> ?capture_remarks:bool -> Manifest.t -> report
+
+(** [compile_entry ~capture_remarks ~shard e] — the single-entry unit of
+    work (exposed for tests). Never raises. *)
+val compile_entry :
+  capture_remarks:bool -> shard:int -> Manifest.entry -> entry_result
+
+(** Deterministic comparison keys: summaries and results rendered
+    {e without} wall-clock fields, so a 4-domain run can be asserted
+    equal to the sequential oracle. *)
+val summary_signature : Ir.Pass.summary list -> string
+
+val result_signature : entry_result -> string
+
+(** The whole report as one JSON object (schema in
+    docs/CONCURRENCY.md). *)
+val report_json : report -> string
+
+(** [write_outputs ~dir rp] writes each successful entry's IR to
+    [dir/shard-N/name.mlir] and the JSON report to [dir/report.json],
+    creating directories as needed. *)
+val write_outputs : dir:string -> report -> unit

@@ -1,0 +1,94 @@
+type source = File of string | Inline of string
+
+type entry = {
+  e_name : string;
+  e_source : source;
+  e_config : Mlt.Pipeline.config;
+}
+
+type t = { m_entries : entry list }
+
+let configs =
+  [
+    Mlt.Pipeline.Clang_O3;
+    Mlt.Pipeline.Pluto_default;
+    Mlt.Pipeline.Pluto_best;
+    Mlt.Pipeline.Mlt_linalg;
+    Mlt.Pipeline.Mlt_blas;
+    Mlt.Pipeline.Mlt_affine_blis;
+  ]
+
+let config_of_name name =
+  List.find_opt
+    (fun c -> String.equal (Mlt.Pipeline.config_name c) name)
+    configs
+
+let of_entries entries = { m_entries = entries }
+
+let entries t = t.m_entries
+
+let size t = List.length t.m_entries
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let source_text e =
+  match e.e_source with Inline src -> src | File path -> read_file path
+
+let is_ir e =
+  match e.e_source with
+  | File path -> Filename.check_suffix path ".mlir"
+  | Inline _ -> false
+
+(* ---- JSON loading ------------------------------------------------------- *)
+
+let fail path msg =
+  Support.Diag.errorf "manifest %s: %s" path msg
+
+let parse_entry ~path ~dir i json =
+  let where msg = fail path (Printf.sprintf "entry %d: %s" i msg) in
+  let str_member key =
+    match Support.Json.member key json with
+    | Some (Support.Json.Str s) -> Some s
+    | Some _ -> where (Printf.sprintf "field %S must be a string" key)
+    | None -> None
+  in
+  let name =
+    match str_member "name" with
+    | Some n -> n
+    | None -> where "missing required field \"name\""
+  in
+  let source =
+    match (str_member "path", str_member "source") with
+    | Some p, None ->
+        let p =
+          if Filename.is_relative p then Filename.concat dir p else p
+        in
+        File p
+    | None, Some s -> Inline s
+    | Some _, Some _ -> where "give either \"path\" or \"source\", not both"
+    | None, None -> where "missing \"path\" or \"source\""
+  in
+  let config =
+    match str_member "pipeline" with
+    | None -> Mlt.Pipeline.Mlt_linalg
+    | Some n -> (
+        match config_of_name n with
+        | Some c -> c
+        | None -> where (Printf.sprintf "unknown pipeline %S" n))
+  in
+  { e_name = name; e_source = source; e_config = config }
+
+let load path =
+  let src = read_file path in
+  let json =
+    match Support.Json.parse src with
+    | Ok v -> v
+    | Error msg -> fail path msg
+  in
+  let dir = Filename.dirname path in
+  match Support.Json.member "entries" json with
+  | Some (Support.Json.List items) ->
+      if items = [] then fail path "empty \"entries\" array";
+      { m_entries = List.mapi (parse_entry ~path ~dir) items }
+  | Some _ -> fail path "\"entries\" must be an array"
+  | None -> fail path "missing \"entries\" array"

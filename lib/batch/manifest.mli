@@ -1,0 +1,50 @@
+(** Batch-compilation manifests: the list of inputs a [mlt-batch] run
+    shards across its domain pool (the ManifestLoader role of the
+    sharded-pipeline architecture in docs/CONCURRENCY.md).
+
+    A manifest is a JSON file:
+
+    {v
+    { "entries": [
+        {"name": "gemm", "path": "gemm.c", "pipeline": "mlt-linalg"},
+        {"name": "inline", "source": "void f(...) {...}"},
+        {"name": "pre-raised", "path": "kernel.mlir"}
+    ] }
+    v}
+
+    Each entry names its input (a mini-C or [.mlir] file path, resolved
+    relative to the manifest file, or inline mini-C [source]) and the
+    pipeline configuration to run ({!Mlt.Pipeline.config_name} spelling;
+    defaults to ["mlt-linalg"]). *)
+
+type source = File of string | Inline of string
+
+type entry = {
+  e_name : string;
+  e_source : source;
+  e_config : Mlt.Pipeline.config;
+}
+
+type t
+
+(** [load path] parses a JSON manifest; raises [Support.Diag.Error] with
+    a descriptive message on malformed input. File paths are resolved
+    relative to [path]'s directory. *)
+val load : string -> t
+
+(** Build a manifest programmatically (the bench harness does). *)
+val of_entries : entry list -> t
+
+(** Entries in manifest order. *)
+val entries : t -> entry list
+
+val size : t -> int
+
+(** The entry's program text (reads the file for [File] sources). *)
+val source_text : entry -> string
+
+(** True when the entry is textual IR ([.mlir]) rather than mini-C. *)
+val is_ir : entry -> bool
+
+(** Parses a {!Mlt.Pipeline.config_name} spelling. *)
+val config_of_name : string -> Mlt.Pipeline.config option

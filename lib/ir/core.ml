@@ -46,42 +46,49 @@ type listener = {
 (* A stack of listeners, newest first; every notification reaches all of
    them. A provenance-collecting listener (installed per pattern attempt
    by the rewriter) therefore composes with the worklist driver's
-   re-enqueue listener instead of shadowing it. *)
-let the_listeners : listener list ref = ref []
+   re-enqueue listener instead of shadowing it. The stack is domain-local
+   (Domain.DLS): a rewrite driver on one domain never observes — or
+   misses — mutations performed by a compilation on another domain. *)
+let listeners_key : listener list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
 let notify_inserted op =
-  match !the_listeners with
+  match Domain.DLS.get listeners_key with
   | [] -> ()
   | ls -> List.iter (fun l -> l.on_op_inserted op) ls
 
 let notify_erased op =
-  match !the_listeners with
+  match Domain.DLS.get listeners_key with
   | [] -> ()
   | ls -> List.iter (fun l -> l.on_op_erased op) ls
 
 let notify_operand_update op =
-  match !the_listeners with
+  match Domain.DLS.get listeners_key with
   | [] -> ()
   | ls -> List.iter (fun l -> l.on_operand_update op) ls
 
+let listener_depth () = List.length (Domain.DLS.get listeners_key)
+
 let with_listener l f =
-  let saved = !the_listeners in
-  the_listeners := l :: saved;
-  Fun.protect ~finally:(fun () -> the_listeners := saved) f
+  let saved = Domain.DLS.get listeners_key in
+  Domain.DLS.set listeners_key (l :: saved);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set listeners_key saved) f
 
 (* ---- ambient source location -------------------------------------------- *)
 
 (* Frontends scope op creation with [with_loc] so every op built for a
    statement — including ops emitted deep inside dialect builders — is
-   stamped with that statement's source location. *)
-let ambient_loc = ref Support.Loc.unknown
+   stamped with that statement's source location. Domain-local: each
+   domain's frontend scopes its own compilation. *)
+let ambient_loc_key : Support.Loc.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Support.Loc.unknown)
 
-let current_loc () = !ambient_loc
+let current_loc () = Domain.DLS.get ambient_loc_key
 
 let with_loc loc f =
-  let saved = !ambient_loc in
-  ambient_loc := loc;
-  Fun.protect ~finally:(fun () -> ambient_loc := saved) f
+  let saved = Domain.DLS.get ambient_loc_key in
+  Domain.DLS.set ambient_loc_key loc;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_loc_key saved) f
 
 (* ---- intrusive use lists ------------------------------------------------ *)
 
@@ -95,7 +102,9 @@ let remove_use v user index =
 
 let create_op ?loc ?(operands = []) ?(result_types = []) ?(attrs = [])
     ?(regions = []) name =
-  let loc = match loc with Some l -> l | None -> !ambient_loc in
+  let loc =
+    match loc with Some l -> l | None -> Domain.DLS.get ambient_loc_key
+  in
   let op =
     {
       o_id = fresh ();
@@ -191,18 +200,24 @@ let single_block op i =
    to keep [create_op] non-cyclic over regions; lookups scan the block's
    parent region against candidate ops via a registry keyed by region id.
    [erase_op] unregisters the erased subtree so the table stays bounded
-   across pipeline runs. *)
-let region_owner : (int, op) Hashtbl.t = Hashtbl.create 256
+   across pipeline runs. The table is domain-local: IR is confined to the
+   domain that created it (docs/CONCURRENCY.md), and region ids are
+   globally unique (atomic Id_gen), so per-domain tables never alias. *)
+let region_owner_key : (int, op) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let region_registry_size () = Hashtbl.length region_owner
+let region_owner () = Domain.DLS.get region_owner_key
+
+let region_registry_size () = Hashtbl.length (region_owner ())
 
 let register_regions op =
-  Array.iter (fun r -> Hashtbl.replace region_owner r.r_id op) op.o_regions
+  let owner = region_owner () in
+  Array.iter (fun r -> Hashtbl.replace owner r.r_id op) op.o_regions
 
 let block_parent_op block =
   match block.b_parent with
   | None -> None
-  | Some r -> Hashtbl.find_opt region_owner r.r_id
+  | Some r -> Hashtbl.find_opt (region_owner ()) r.r_id
 
 let parent_op op =
   match op.o_parent with None -> None | Some b -> block_parent_op b
@@ -321,10 +336,11 @@ let erase_op op =
   (* Structurally invalidate the whole subtree: drop its operand use-list
      entries (so use counts of surviving values stay exact) and unregister
      its regions (so the region registry does not grow across runs). *)
+  let owner = region_owner () in
   walk op (fun o ->
       Array.iteri (fun i v -> remove_use v o i) o.o_operands;
       o.o_operands <- [||];
-      Array.iter (fun r -> Hashtbl.remove region_owner r.r_id) o.o_regions)
+      Array.iter (fun r -> Hashtbl.remove owner r.r_id) o.o_regions)
 
 (* ---- use-def queries and mutation --------------------------------------- *)
 

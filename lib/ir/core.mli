@@ -80,8 +80,9 @@ val create_op :
 
 (** [with_loc loc f] runs [f ()] with [loc] as the ambient source
     location: every op created inside (without an explicit [?loc]) is
-    stamped with it. Nests; exception-safe. Frontends scope each
-    statement's emission with this. *)
+    stamped with it. Nests; exception-safe; domain-local (the ambient
+    location set on one domain is invisible to every other domain).
+    Frontends scope each statement's emission with this. *)
 val with_loc : Support.Loc.t -> (unit -> 'a) -> 'a
 
 (** The current ambient location ([Loc.unknown] outside {!with_loc}). *)
@@ -133,18 +134,21 @@ val block_parent_op : block -> op option
     under nothing. *)
 val is_under : root:op -> op -> bool
 
-(** Number of live entries in the region->owner registry. Exposed for
-    leak regression tests: erasing an op unregisters its whole subtree,
-    so the size must return to baseline after build-and-erase cycles. *)
+(** Number of live entries in the calling domain's region->owner
+    registry. Exposed for leak regression tests: erasing an op
+    unregisters its whole subtree, so the size must return to baseline
+    after build-and-erase cycles. The registry is domain-local — IR must
+    stay confined to the domain that created it (docs/CONCURRENCY.md). *)
 val region_registry_size : unit -> int
 
 (** {2 Mutation listeners}
 
-    IR mutations are observed through a process-wide {e stack} of
+    IR mutations are observed through a {e domain-local stack} of
     listeners: the worklist rewrite driver installs one for the duration
     of a driver run, and the rewriter's provenance collector installs
     another per pattern attempt. Every notification reaches every
-    installed listener. *)
+    listener installed on the mutating domain; listeners on other
+    domains are never invoked. *)
 
 type listener = {
   on_op_inserted : op -> unit;  (** fired after attaching an op to a block *)
@@ -154,10 +158,17 @@ type listener = {
       (** fired after {!set_operand} changes an operand *)
 }
 
-(** [with_listener l f] runs [f ()] with [l] pushed onto the listener
-    stack, restoring the previous stack afterwards (exception-safe, so
-    drivers and collectors nest freely). *)
+(** [with_listener l f] runs [f ()] with [l] pushed onto the calling
+    domain's listener stack, restoring the previous stack afterwards
+    (exception-safe, so drivers and collectors nest freely — and a
+    [Diag.Error] escaping [f], or the listener itself raising mid-notify,
+    still pops [l]). *)
 val with_listener : listener -> (unit -> 'a) -> 'a
+
+(** Current depth of the calling domain's listener stack (0 outside any
+    {!with_listener} scope). Exposed for exception-safety regression
+    tests. *)
+val listener_depth : unit -> int
 
 (** {2 Block surgery} *)
 

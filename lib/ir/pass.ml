@@ -16,7 +16,10 @@ type timing = {
 (* Per-pattern deltas between two [Rewriter.pattern_totals] snapshots,
    keeping only the patterns that participated in this pass (activated,
    attempted, or applied). Counters are monotonic, so every [before] row
-   is present in [after]. *)
+   is present in [after]. Rows are ordered by name: the registry's
+   registration order reflects the domain's whole compile history, so it
+   differs between a fresh domain and one that has compiled other
+   pipelines first — sorting keeps recorded stats independent of that. *)
 let pattern_delta before after =
   let prior = Hashtbl.create 32 in
   List.iter
@@ -39,6 +42,8 @@ let pattern_delta before after =
         Some d
       else None)
     after
+  |> List.sort (fun (a : Rewriter.pattern_stat) b ->
+         String.compare a.ps_name b.ps_name)
 
 type snapshot_policy = No_snapshots | After_all | After_named of string list
 
@@ -186,6 +191,30 @@ let merge_pattern_stats acc ps =
       go acc)
     acc ps
 
+(* Fold one summary row into an accumulated list, merging by qualified
+   name and keeping first-appearance order — the same discipline
+   [summarize] applies to per-run timings, lifted to whole summaries so
+   per-domain results can be combined deterministically. *)
+let add_summary acc (x : summary) =
+  let rec go = function
+    | [] -> [ x ]
+    | s :: rest when String.equal s.s_name x.s_name ->
+        {
+          s with
+          s_runs = s.s_runs + x.s_runs;
+          s_seconds = s.s_seconds +. x.s_seconds;
+          s_match_attempts = s.s_match_attempts + x.s_match_attempts;
+          s_rewrites = s.s_rewrites + x.s_rewrites;
+          s_ops_delta = s.s_ops_delta + x.s_ops_delta;
+          s_patterns = merge_pattern_stats s.s_patterns x.s_patterns;
+        }
+        :: rest
+    | s :: rest -> s :: go rest
+  in
+  go acc
+
+let merge_summaries a b = List.fold_left add_summary a b
+
 let summarize m =
   (* Aggregate by qualified name, keeping first-appearance order. *)
   let fold acc (t : timing) =
@@ -316,21 +345,24 @@ let report_json m =
       ("passes", json_array (List.map timing_json (timings m)));
     ]
 
+let summary_entry_json s =
+  json_of_fields
+    [
+      ("name", "\"" ^ json_escape s.s_name ^ "\"");
+      ("runs", string_of_int s.s_runs);
+      ("seconds", Printf.sprintf "%.9f" s.s_seconds);
+      ("match_attempts", string_of_int s.s_match_attempts);
+      ("rewrites", string_of_int s.s_rewrites);
+      ("ops_delta", string_of_int s.s_ops_delta);
+      ("patterns", json_array (List.map pattern_stat_json s.s_patterns));
+    ]
+
+let summaries_json summaries =
+  json_array (List.map summary_entry_json summaries)
+
 let summary_json m =
-  let entry s =
-    json_of_fields
-      [
-        ("name", "\"" ^ json_escape s.s_name ^ "\"");
-        ("runs", string_of_int s.s_runs);
-        ("seconds", Printf.sprintf "%.9f" s.s_seconds);
-        ("match_attempts", string_of_int s.s_match_attempts);
-        ("rewrites", string_of_int s.s_rewrites);
-        ("ops_delta", string_of_int s.s_ops_delta);
-        ("patterns", json_array (List.map pattern_stat_json s.s_patterns));
-      ]
-  in
   json_of_fields
     [
       ("total_seconds", Printf.sprintf "%.9f" (total_seconds m));
-      ("passes", json_array (List.map entry (summarize m)));
+      ("passes", summaries_json (summarize m));
     ]

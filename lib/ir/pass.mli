@@ -94,6 +94,15 @@ type summary = {
 
 val summarize : manager -> summary list
 
+(** [merge_summaries a b] folds [b]'s rows into [a], merging rows with
+    the same qualified pass name (counters summed, per-pattern rows
+    merged) and keeping first-appearance order. Deterministic: merging
+    per-domain/per-input summaries in a fixed order (e.g. manifest order)
+    yields the same aggregate as a sequential run, which is what the
+    multi-domain batch driver relies on. [merge_summaries [] s] copies
+    [s]; the operation is associative. *)
+val merge_summaries : summary list -> summary list -> summary list
+
 (** {2 Reports}
 
     The JSON schema is documented in [docs/OBSERVABILITY.md]. *)
@@ -113,3 +122,8 @@ val report_json : manager -> string
 val summary_table : manager -> string
 
 val summary_json : manager -> string
+
+(** The JSON array of summary rows alone (the ["passes"] field of
+    {!summary_json}), for embedding aggregated cross-manager summaries
+    in other reports (the batch driver's). *)
+val summaries_json : summary list -> string

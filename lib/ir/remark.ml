@@ -37,24 +37,32 @@ let to_string r =
 
 type sink = t -> unit
 
-let sinks : (int * sink) list ref = ref []
-let next_handle = ref 0
+(* Domain-local, like [Trace.sinks]: remarks emitted by a compilation on
+   one domain reach only the sinks that compilation installed. Handles
+   come from one atomic counter so they are unique process-wide. *)
+let sinks_key : (int * sink) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let next_handle = Atomic.make 0
 
 type handle = int
 
 let install sink =
-  incr next_handle;
-  let h = !next_handle in
-  sinks := (h, sink) :: !sinks;
+  let h = 1 + Atomic.fetch_and_add next_handle 1 in
+  Domain.DLS.set sinks_key ((h, sink) :: Domain.DLS.get sinks_key);
   h
 
-let uninstall h = sinks := List.filter (fun (h', _) -> h' <> h) !sinks
+let uninstall h =
+  Domain.DLS.set sinks_key
+    (List.filter (fun (h', _) -> h' <> h) (Domain.DLS.get sinks_key))
 
 let with_sink sink f =
   let h = install sink in
   Fun.protect ~finally:(fun () -> uninstall h) f
 
-let enabled () = !sinks <> []
+let enabled () = Domain.DLS.get sinks_key <> []
+
+let installed_count () = List.length (Domain.DLS.get sinks_key)
 
 let trace_args r =
   let opt key = function
@@ -74,12 +82,12 @@ let emit r =
      pattern attempts that rejected it. *)
   if Trace.enabled () then
     Trace.instant ~cat:"remark" ~args:(trace_args r) r.r_message;
-  if !sinks = [] then begin
-    (* Unwatched warnings must still reach the user (the pre-existing
-       behaviour of the ad-hoc [Printf.eprintf] call sites). *)
-    if r.r_kind = Warning then prerr_endline (to_string r)
-  end
-  else List.iter (fun (_, sink) -> sink r) !sinks
+  match Domain.DLS.get sinks_key with
+  | [] ->
+      (* Unwatched warnings must still reach the user (the pre-existing
+         behaviour of the ad-hoc [Printf.eprintf] call sites). *)
+      if r.r_kind = Warning then prerr_endline (to_string r)
+  | sinks -> List.iter (fun (_, sink) -> sink r) sinks
 
 let remark ?(loc = Support.Loc.unknown) ?context ?pattern ?stage kind fmt =
   Printf.ksprintf

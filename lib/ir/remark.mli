@@ -37,17 +37,25 @@ type sink = t -> unit
 
 type handle
 
+(** Sink stacks are domain-local, like {!Trace}'s: a sink installed on
+    one domain receives only remarks emitted by that domain
+    (docs/CONCURRENCY.md). *)
 val install : sink -> handle
+
 val uninstall : handle -> unit
 
 (** [with_sink sink f] runs [f ()] with [sink] installed,
     exception-safely uninstalling it afterwards. *)
 val with_sink : sink -> (unit -> 'a) -> 'a
 
-(** True when a sink is installed. Emitters of non-warning remarks should
-    guard message construction with this — near-miss explanation is only
-    worth computing when someone is listening. *)
+(** True when a sink is installed on the calling domain. Emitters of
+    non-warning remarks should guard message construction with this —
+    near-miss explanation is only worth computing when someone is
+    listening. *)
 val enabled : unit -> bool
+
+(** Number of sinks installed on the calling domain (for tests). *)
+val installed_count : unit -> int
 
 val emit : t -> unit
 

@@ -13,23 +13,44 @@ type pattern = {
   p_benefit : int;
   p_roots : roots;
   p_generated_ops : string list;
-  p_stats : stats;
   p_apply : ctx -> Core.op -> bool;
 }
+
+(* Counter state is domain-local (Domain.DLS): each domain accumulates
+   its own registry, so concurrent compilations never race on the
+   counters, and a frozen pattern set built on one domain can run on
+   another — its descriptors carry no mutable state; the running domain's
+   registry picks up the counts. Per-domain registries are merged at
+   aggregation time (Pass.merge_summaries / the batch driver). *)
+type registry = {
+  by_name : (string, stats) Hashtbl.t;
+  mutable order_rev : string list;  (** reverse registration order *)
+  mutable match_attempts : int;
+  mutable rewrites : int;
+}
+
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        by_name = Hashtbl.create 64;
+        order_rev = [];
+        match_attempts = 0;
+        rewrites = 0;
+      })
+
+let registry () = Domain.DLS.get registry_key
 
 (* Counters are keyed by pattern name so re-compiling a set (tactics are
    compiled fresh per pass construction) keeps accumulating into the same
    row; registration order is preserved for the reports. *)
-let stats_registry : (string, stats) Hashtbl.t = Hashtbl.create 64
-let stats_order : string list ref = ref [] (* reverse registration order *)
-
 let stats_for name =
-  match Hashtbl.find_opt stats_registry name with
+  let reg = registry () in
+  match Hashtbl.find_opt reg.by_name name with
   | Some s -> s
   | None ->
       let s = { st_attempts = 0; st_hits = 0; st_activations = 0 } in
-      Hashtbl.replace stats_registry name s;
-      stats_order := name :: !stats_order;
+      Hashtbl.replace reg.by_name name s;
+      reg.order_rev <- name :: reg.order_rev;
       s
 
 type pattern_stat = {
@@ -40,34 +61,37 @@ type pattern_stat = {
 }
 
 let pattern_totals () =
+  let reg = registry () in
   List.rev_map
     (fun name ->
-      let s = Hashtbl.find stats_registry name in
+      let s = Hashtbl.find reg.by_name name in
       {
         ps_name = name;
         ps_attempts = s.st_attempts;
         ps_hits = s.st_hits;
         ps_activations = s.st_activations;
       })
-    !stats_order
+    reg.order_rev
 
 let pattern ~name ?(benefit = 1) ?(roots = Any) ?(generated_ops = []) apply =
+  (* Register the name now so report rows appear in registration order on
+     the constructing domain, even for patterns dispatch never attempts. *)
+  ignore (stats_for name : stats);
   {
     p_name = name;
     p_benefit = benefit;
     p_roots = roots;
     p_generated_ops = generated_ops;
-    p_stats = stats_for name;
     p_apply = apply;
   }
 
 let max_iterations = 10_000
 
-(* Process-wide driver counters. The pass manager snapshots them around
+(* Domain-local driver counters. The pass manager snapshots them around
    each pass run to attribute match/rewrite work to individual passes. *)
-let total_match_attempts = ref 0
-let total_rewrites = ref 0
-let counter_totals () = (!total_match_attempts, !total_rewrites)
+let counter_totals () =
+  let reg = registry () in
+  (reg.match_attempts, reg.rewrites)
 
 (* Provenance: cap how many distinct source locations a derivation
    records — a consumed loop nest contributes a handful, and unbounded
@@ -75,8 +99,10 @@ let counter_totals () = (!total_match_attempts, !total_rewrites)
 let max_src_locs = 8
 
 let try_apply p ctx op =
-  incr total_match_attempts;
-  p.p_stats.st_attempts <- p.p_stats.st_attempts + 1;
+  let reg = registry () in
+  let pstats = stats_for p.p_name in
+  reg.match_attempts <- reg.match_attempts + 1;
+  pstats.st_attempts <- pstats.st_attempts + 1;
   (* Observe the attempt through the listener stack: ops the rewrite
      inserts get stamped with a derivation on success, and ops it erases
      contribute their known source locations (walking the subtree at
@@ -118,8 +144,8 @@ let try_apply p ctx op =
         raise (Support.Diag.Error (op.Core.o_loc, msg))
   in
   if applied then begin
-    incr total_rewrites;
-    p.p_stats.st_hits <- p.p_stats.st_hits + 1;
+    reg.rewrites <- reg.rewrites + 1;
+    pstats.st_hits <- pstats.st_hits + 1;
     let srcs = List.rev !src_locs_rev in
     let dv = { Core.dv_pattern = p.p_name; dv_locs = srcs } in
     List.iter
@@ -212,7 +238,9 @@ let freeze = Frozen.of_patterns
    dispatch ever attempts it — the per-pass reports list them all. *)
 let activate (fz : Frozen.t) =
   List.iter
-    (fun p -> p.p_stats.st_activations <- p.p_stats.st_activations + 1)
+    (fun p ->
+      let s = stats_for p.p_name in
+      s.st_activations <- s.st_activations + 1)
     (Frozen.patterns fz)
 
 (* Bracket a driver run in a trace span whose End event carries the

@@ -27,7 +27,9 @@ type ctx = {
 type roots = Any | Roots of string list
 
 (** Per-pattern-name counters, shared by every pattern instance
-    constructed under the same name (process-wide, monotonic). *)
+    constructed under the same name ({e domain-local}, monotonic:
+    each domain accumulates its own registry — see
+    {!section-stats}). *)
 type stats = {
   mutable st_attempts : int;  (** [p_apply] invocations *)
   mutable st_hits : int;  (** invocations that rewrote the IR *)
@@ -41,7 +43,6 @@ type pattern = {
   p_roots : roots;
   p_generated_ops : string list;
       (** advisory: op names the rewrite may insert *)
-  p_stats : stats;
   p_apply : ctx -> Core.op -> bool;
       (** Inspect [op]; if it matches, mutate the IR (insert replacement
           ops via [ctx.builder], erase matched ops) and return [true]. *)
@@ -49,8 +50,10 @@ type pattern = {
 
 (** [pattern ~name ?benefit ?roots ?generated_ops apply] — [benefit]
     defaults to 1, [roots] to [Any], [generated_ops] to []. Counters are
-    looked up (or created) by [name], so re-compiling a pattern set keeps
-    accumulating into the same per-name statistics. *)
+    looked up (or created) by [name] in the running domain's registry, so
+    re-compiling a pattern set keeps accumulating into the same per-name
+    statistics; pattern descriptors themselves carry no mutable state, so
+    a frozen set may be shared across domains. *)
 val pattern :
   name:string ->
   ?benefit:int ->
@@ -136,14 +139,19 @@ val apply_greedily_fullsweep : Core.op -> Frozen.t -> int
     number of applications. *)
 val apply_sweeps : Core.op -> Frozen.t -> int
 
-(** {2 Driver statistics}
+(** {2:stats Driver statistics}
 
-    Process-wide monotonic counters over all drivers, both in aggregate
-    and per pattern name. {!Pass.run} snapshots them around each pass to
-    attribute the work to individual passes. *)
+    Domain-local monotonic counters over all drivers, both in aggregate
+    and per pattern name: every driver run charges the counters of the
+    domain it executes on, so concurrent compilations never race and
+    each domain's totals describe exactly its own work. Single-domain
+    programs observe the historical process-wide behaviour unchanged.
+    {!Pass.run} snapshots the counters around each pass to attribute the
+    work to individual passes; multi-domain drivers merge per-domain
+    results with {!Pass.merge_summaries}. *)
 
-(** [counter_totals ()] is [(match_attempts, rewrites)] since process
-    start. *)
+(** [counter_totals ()] is [(match_attempts, rewrites)] accumulated by
+    the calling domain since it first ran a driver. *)
 val counter_totals : unit -> int * int
 
 (** One per-name row of {!pattern_totals}. *)
@@ -154,10 +162,11 @@ type pattern_stat = {
   ps_activations : int;
 }
 
-(** Per-pattern-name totals since process start, in first-registration
-    order. A pattern participates in a driver run ("activation") even if
-    op-indexed dispatch never attempted it — so 0-attempt tactics still
-    show up in the per-pass reports. *)
+(** The calling domain's per-pattern-name totals, in first-registration
+    order (registration happens at {!pattern} construction, or at first
+    use for sets built on another domain). A pattern participates in a
+    driver run ("activation") even if op-indexed dispatch never attempted
+    it — so 0-attempt tactics still show up in the per-pass reports. *)
 val pattern_totals : unit -> pattern_stat list
 
 (** {2 Rewrite helpers} *)

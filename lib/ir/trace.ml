@@ -17,35 +17,48 @@ type event = {
 type sink = event -> unit
 
 (* Installed sinks, newest first, each keyed by a handle so [uninstall] is
-   order-independent. The hot path is "no sinks installed": [emit] reads
-   one ref and returns, so tracing costs nothing when disabled. *)
-let sinks : (int * sink) list ref = ref []
-let next_handle = ref 0
+   order-independent. The stack is domain-local (Domain.DLS): a sink
+   installed by one compilation never observes events from a concurrent
+   compilation on another domain, and installing/uninstalling never
+   races. Handles are drawn from one atomic counter so they stay unique
+   process-wide. The hot path is "no sinks installed": [emit] reads the
+   domain-local slot and returns, so tracing costs nothing when
+   disabled. *)
+let sinks_key : (int * sink) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let next_handle = Atomic.make 0
 
 type handle = int
 
 let install sink =
-  incr next_handle;
-  let h = !next_handle in
-  sinks := (h, sink) :: !sinks;
+  let h = 1 + Atomic.fetch_and_add next_handle 1 in
+  Domain.DLS.set sinks_key ((h, sink) :: Domain.DLS.get sinks_key);
   h
 
-let uninstall h = sinks := List.filter (fun (h', _) -> h' <> h) !sinks
+let uninstall h =
+  Domain.DLS.set sinks_key
+    (List.filter (fun (h', _) -> h' <> h) (Domain.DLS.get sinks_key))
 
 let with_sink sink f =
   let h = install sink in
   Fun.protect ~finally:(fun () -> uninstall h) f
 
-let enabled () = !sinks <> []
+let enabled () = Domain.DLS.get sinks_key <> []
 
-let dispatch ev = List.iter (fun (_, sink) -> sink ev) !sinks
+let installed_count () = List.length (Domain.DLS.get sinks_key)
+
+let dispatch sinks ev = List.iter (fun (_, sink) -> sink ev) sinks
 
 let now () = Unix.gettimeofday ()
 
 let emit ?(args = []) ~cat ~phase name =
-  if !sinks <> [] then
-    dispatch { ev_ts = now (); ev_cat = cat; ev_name = name; ev_phase = phase;
-               ev_args = args }
+  match Domain.DLS.get sinks_key with
+  | [] -> ()
+  | sinks ->
+      dispatch sinks
+        { ev_ts = now (); ev_cat = cat; ev_name = name; ev_phase = phase;
+          ev_args = args }
 
 let instant ?args ~cat name = emit ?args ~cat ~phase:Instant name
 let begin_ ?args ~cat name = emit ?args ~cat ~phase:Begin name
@@ -54,7 +67,7 @@ let end_ ?args ~cat name = emit ?args ~cat ~phase:End name
 (* [span] takes the end args lazily: they usually summarize what the body
    did (op counts, applications) and only exist once it has run. *)
 let span ?args ?(end_args = fun () -> []) ~cat name f =
-  if !sinks = [] then f ()
+  if not (enabled ()) then f ()
   else begin
     begin_ ?args ~cat name;
     Fun.protect ~finally:(fun () -> end_ ~args:(end_args ()) ~cat name) f

@@ -34,8 +34,11 @@ type sink = event -> unit
 
 type handle
 
-(** [install sink] registers a sink; every subsequent event is delivered
-    to all installed sinks. *)
+(** [install sink] registers a sink on the calling domain; every
+    subsequent event emitted {e by that domain} is delivered to all of
+    its installed sinks. The sink stack is domain-local: a compilation
+    running on another domain neither sees this sink nor disturbs it
+    (docs/CONCURRENCY.md). *)
 val install : sink -> handle
 
 val uninstall : handle -> unit
@@ -44,9 +47,14 @@ val uninstall : handle -> unit
     exception-safely uninstalling it afterwards. *)
 val with_sink : sink -> (unit -> 'a) -> 'a
 
-(** True when at least one sink is installed. Guard expensive argument
-    construction with this; {!emit} itself already checks. *)
+(** True when at least one sink is installed on the calling domain. Guard
+    expensive argument construction with this; {!emit} itself already
+    checks. *)
 val enabled : unit -> bool
+
+(** Number of sinks installed on the calling domain. Exposed for
+    exception-safety regression tests. *)
+val installed_count : unit -> int
 
 val emit : ?args:(string * arg) list -> cat:string -> phase:phase -> string -> unit
 val instant : ?args:(string * arg) list -> cat:string -> string -> unit

@@ -1,10 +1,7 @@
-type t = int ref
+type t = int Atomic.t
 
-let create () = ref 0
+let create () = Atomic.make 0
 
-let next t =
-  let v = !t in
-  incr t;
-  v
+let next t = Atomic.fetch_and_add t 1
 
 let global = create ()

@@ -25,3 +25,11 @@ dune exec bin/mlt_opt.exe -- examples/kernels/gemm.c \
   -o "$obs_tmp/out.mlir" > "$obs_tmp/stats.json"
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/trace.json" traceEvents
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/stats.json"
+# Smoke the multi-domain batch driver: the example manifest must compile
+# cleanly on a 2-domain pool (domains time-share cores on small machines,
+# so this checks safety, not speed) and produce a well-formed report with
+# per-entry and aggregated pass stats (schema in docs/CONCURRENCY.md).
+dune exec bin/mlt_batch.exe -- examples/kernels/batch_manifest.json \
+  --domains 2 --quiet --output "$obs_tmp/batch"
+dune exec tools/json_check/json_check.exe -- "$obs_tmp/batch/report.json" \
+  entries passes

@@ -26,4 +26,5 @@ let () =
       ("misc", Test_misc.suite);
       ("negative-controls", Test_negative.suite);
       ("mlt", Test_mlt.suite);
+      ("batch", Test_batch.suite);
     ]

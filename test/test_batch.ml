@@ -1,0 +1,268 @@
+(* Multi-domain safety and the sharded batch driver.
+
+   The first half regression-tests the domain-safety fixes directly:
+   atomic id generation under parallel create_op bursts, and
+   exception-safe listener/sink scopes. The second half is the
+   multi-domain stress suite: the tiny polybench workloads compiled on a
+   4-domain pool must match the sequential oracle byte-for-byte
+   (QCheck randomizes the manifest order), and a crashing input must
+   fail only its own entry. *)
+
+open Ir
+
+module W = Workloads.Polybench
+
+(* ---- atomic id generation ----------------------------------------- *)
+
+let test_id_gen_parallel_unique () =
+  (* Four domains race [Id_gen.next] on a shared generator; with the
+     old non-atomic [incr] two domains could read the same counter
+     value and hand out colliding ids. *)
+  let gen = Support.Id_gen.create () in
+  let per_domain = 20_000 in
+  let burst () = Array.init per_domain (fun _ -> Support.Id_gen.next gen) in
+  let others = List.init 3 (fun _ -> Domain.spawn burst) in
+  let mine = burst () in
+  let all = mine :: List.map Domain.join others in
+  let seen = Hashtbl.create (4 * per_domain) in
+  List.iter
+    (fun ids ->
+      Array.iter
+        (fun id ->
+          if Hashtbl.mem seen id then
+            Alcotest.failf "id %d handed out twice" id;
+          Hashtbl.add seen id ())
+        ids)
+    all;
+  Alcotest.(check int) "every id distinct" (4 * per_domain)
+    (Hashtbl.length seen)
+
+let test_create_op_parallel_unique () =
+  (* Same race through the public IR constructor: parallel create_op
+     bursts must never mint colliding op or value ids (both draw from
+     [Id_gen.global]). *)
+  let per_domain = 2_000 in
+  let burst () =
+    Array.init per_domain (fun i ->
+        let op =
+          Core.create_op
+            ~result_types:[ Typ.F32 ]
+            (Printf.sprintf "test.burst%d" (i land 7))
+        in
+        (op.Core.o_id, op.Core.o_results.(0).Core.v_id))
+  in
+  let others = List.init 3 (fun _ -> Domain.spawn burst) in
+  let mine = burst () in
+  let all = mine :: List.map Domain.join others in
+  let seen = Hashtbl.create (8 * per_domain) in
+  let claim id =
+    if Hashtbl.mem seen id then Alcotest.failf "id %d minted twice" id;
+    Hashtbl.add seen id ()
+  in
+  List.iter (Array.iter (fun (oid, vid) -> claim oid; claim vid)) all;
+  Alcotest.(check int) "op and value ids all distinct" (8 * per_domain)
+    (Hashtbl.length seen)
+
+(* ---- exception-safe listener / sink scopes ------------------------ *)
+
+exception Boom
+
+let null_listener =
+  {
+    Core.on_op_inserted = ignore;
+    on_op_erased = ignore;
+    on_operand_update = ignore;
+  }
+
+let test_listener_stack_restored_on_raise () =
+  Alcotest.(check int) "depth 0 outside any scope" 0 (Core.listener_depth ());
+  (try
+     Core.with_listener null_listener (fun () ->
+         Alcotest.(check int) "depth 1 inside" 1 (Core.listener_depth ());
+         Core.with_listener null_listener (fun () ->
+             Alcotest.(check int) "depth 2 nested" 2 (Core.listener_depth ());
+             raise Boom))
+   with Boom -> ());
+  Alcotest.(check int) "depth restored after nested raise" 0
+    (Core.listener_depth ())
+
+let test_listener_raising_mid_notify_still_popped () =
+  (* The listener itself raising from a notification must not leave the
+     stack deeper than it was: [with_listener] pops on the way out no
+     matter who raised. *)
+  let angry =
+    { null_listener with Core.on_op_inserted = (fun _ -> raise Boom) }
+  in
+  (try
+     Core.with_listener angry (fun () ->
+         let block = Core.create_block [] in
+         Core.append_op block
+           (Core.create_op ~result_types:[ Typ.F32 ] "test.poke"))
+   with Boom -> ());
+  Alcotest.(check int) "depth restored after listener raised" 0
+    (Core.listener_depth ())
+
+let test_trace_sink_restored_on_raise () =
+  Alcotest.(check int) "no trace sinks initially" 0 (Trace.installed_count ());
+  (try Trace.with_sink ignore (fun () -> raise Boom) with Boom -> ());
+  Alcotest.(check int) "trace sink popped after raise" 0
+    (Trace.installed_count ());
+  Alcotest.(check bool) "trace disabled again" false (Trace.enabled ())
+
+let test_remark_sink_restored_on_raise () =
+  Alcotest.(check int) "no remark sinks initially" 0
+    (Remark.installed_count ());
+  (try
+     Remark.with_sink ignore (fun () ->
+         Remark.with_sink ignore (fun () ->
+             Alcotest.(check int) "two remark sinks" 2
+               (Remark.installed_count ());
+             raise Boom))
+   with Boom -> ());
+  Alcotest.(check int) "remark sinks popped after raise" 0
+    (Remark.installed_count ())
+
+(* ---- multi-domain stress: batch vs sequential oracle -------------- *)
+
+let stress_entries () =
+  (* A slice of the tiny polybench kernels across all three pipeline
+     configurations — small enough for the test suite, varied enough to
+     exercise every raising path. *)
+  let configs =
+    [| Mlt.Pipeline.Mlt_linalg; Mlt.Pipeline.Mlt_blas;
+       Mlt.Pipeline.Mlt_affine_blis |]
+  in
+  List.mapi
+    (fun i (name, src) ->
+      {
+        Batch.Manifest.e_name = name;
+        e_source = Batch.Manifest.Inline src;
+        e_config = configs.(i mod Array.length configs);
+      })
+    (W.tiny_suite ())
+
+let result_by_name rp name =
+  List.find
+    (fun (r : Batch.Driver.entry_result) -> r.Batch.Driver.r_name = name)
+    rp.Batch.Driver.rp_results
+
+let test_four_domains_match_sequential_oracle () =
+  let entries = stress_entries () in
+  let manifest = Batch.Manifest.of_entries entries in
+  let seq = Batch.Driver.run ~domains:1 manifest in
+  let par = Batch.Driver.run ~domains:4 manifest in
+  List.iter2
+    (fun (s : Batch.Driver.entry_result) (p : Batch.Driver.entry_result) ->
+      Alcotest.(check string)
+        (s.Batch.Driver.r_name ^ " IR byte-identical")
+        s.Batch.Driver.r_ir p.Batch.Driver.r_ir;
+      Alcotest.(check string)
+        (s.Batch.Driver.r_name ^ " stats identical")
+        (Batch.Driver.result_signature s)
+        (Batch.Driver.result_signature p))
+    seq.Batch.Driver.rp_results par.Batch.Driver.rp_results;
+  Alcotest.(check string) "aggregated pass stats identical"
+    (Batch.Driver.summary_signature seq.Batch.Driver.rp_summary)
+    (Batch.Driver.summary_signature par.Batch.Driver.rp_summary);
+  Alcotest.(check int) "no failures" 0 (Batch.Driver.failed_count par)
+
+let test_random_order_qcheck =
+  (* Manifest order must not matter: under any permutation, each entry
+     compiles to exactly what the canonical sequential oracle produced
+     for it, and the manifest-order aggregate is permutation-independent
+     up to per-pass row order (compared via sorted signature lines). *)
+  let entries = stress_entries () in
+  let oracle =
+    Batch.Driver.run ~domains:1 (Batch.Manifest.of_entries entries)
+  in
+  let sorted_lines rp =
+    List.sort compare
+      (String.split_on_char '\n'
+         (Batch.Driver.summary_signature rp.Batch.Driver.rp_summary))
+  in
+  let n = List.length entries in
+  let arb = QCheck.(array_of_size (Gen.return n) (int_bound 1_000_000)) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:5 ~name:"randomized manifest order" arb
+       (fun keys ->
+         let order =
+           List.map snd
+             (List.sort compare
+                (List.mapi (fun i e -> (keys.(i), e)) entries))
+         in
+         let rp =
+           Batch.Driver.run ~domains:4 (Batch.Manifest.of_entries order)
+         in
+         List.iter
+           (fun (r : Batch.Driver.entry_result) ->
+             let o = result_by_name oracle r.Batch.Driver.r_name in
+             if not (String.equal o.Batch.Driver.r_ir r.Batch.Driver.r_ir)
+             then
+               QCheck.Test.fail_reportf "IR diverged on %s"
+                 r.Batch.Driver.r_name;
+             if
+               not
+                 (String.equal
+                    (Batch.Driver.result_signature o)
+                    (Batch.Driver.result_signature r))
+             then
+               QCheck.Test.fail_reportf "stats diverged on %s"
+                 r.Batch.Driver.r_name)
+           rp.Batch.Driver.rp_results;
+         sorted_lines rp = sorted_lines oracle))
+
+let test_fault_isolation () =
+  (* A parse error in the middle of the manifest fails exactly its own
+     entry; every other entry still matches the oracle. *)
+  let good = stress_entries () in
+  let crash =
+    {
+      Batch.Manifest.e_name = "crash";
+      e_source = Batch.Manifest.Inline "void broken(float A[4]) {";
+      e_config = Mlt.Pipeline.Mlt_linalg;
+    }
+  in
+  let entries =
+    match good with
+    | a :: b :: rest -> a :: b :: crash :: rest
+    | short -> crash :: short
+  in
+  let oracle = Batch.Driver.run ~domains:1 (Batch.Manifest.of_entries good) in
+  let rp = Batch.Driver.run ~domains:4 (Batch.Manifest.of_entries entries) in
+  Alcotest.(check int) "exactly one failure" 1 (Batch.Driver.failed_count rp);
+  List.iter
+    (fun (r : Batch.Driver.entry_result) ->
+      match (r.Batch.Driver.r_name, r.Batch.Driver.r_status) with
+      | "crash", Batch.Driver.Failed msg ->
+          Alcotest.(check bool) "failure mentions a diagnostic" true
+            (String.length msg > 0)
+      | "crash", Batch.Driver.Done ->
+          Alcotest.fail "crashing entry reported Done"
+      | name, Batch.Driver.Failed msg ->
+          Alcotest.failf "healthy entry %s failed: %s" name msg
+      | name, Batch.Driver.Done ->
+          Alcotest.(check string) (name ^ " unaffected by the crash")
+            (result_by_name oracle name).Batch.Driver.r_ir
+            r.Batch.Driver.r_ir)
+    rp.Batch.Driver.rp_results
+
+let suite =
+  [
+    Alcotest.test_case "parallel Id_gen.next bursts never collide" `Quick
+      test_id_gen_parallel_unique;
+    Alcotest.test_case "parallel create_op bursts never collide" `Quick
+      test_create_op_parallel_unique;
+    Alcotest.test_case "listener stack restored when body raises" `Quick
+      test_listener_stack_restored_on_raise;
+    Alcotest.test_case "listener raising mid-notify still popped" `Quick
+      test_listener_raising_mid_notify_still_popped;
+    Alcotest.test_case "trace sink popped when body raises" `Quick
+      test_trace_sink_restored_on_raise;
+    Alcotest.test_case "remark sinks popped when body raises" `Quick
+      test_remark_sink_restored_on_raise;
+    Alcotest.test_case "4 domains match the sequential oracle" `Quick
+      test_four_domains_match_sequential_oracle;
+    test_random_order_qcheck;
+    Alcotest.test_case "crashing input fails only its own entry" `Quick
+      test_fault_isolation;
+  ]
