@@ -119,7 +119,7 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"DIR"
         ~doc:
-          "Write each entry's IR to DIR/shard-N/NAME.mlir and the \
+          "Write each entry's IR to DIR/shard-N/III-NAME.mlir and the \
            report to DIR/report.json.")
 
 let report_arg =

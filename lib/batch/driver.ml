@@ -83,6 +83,12 @@ let compile_entry ~capture_remarks ~shard (e : Manifest.entry) =
 (* ---- the domain pool ---------------------------------------------------- *)
 
 let run ?(domains = 1) ?(capture_remarks = false) manifest =
+  (* The Dialect op-def registry is write-once-before-parallelism:
+     populate it fully on this domain so the workers spawned below only
+     ever read it (Ir.Dialect.register_once makes even a racing first
+     registration safe, but eager registration means the unsynchronized
+     lookup fast path is all the workers execute). *)
+  Mlt.Pipeline.register_dialects ();
   let entries = Array.of_list (Manifest.entries manifest) in
   let n = Array.length entries in
   let domains = max 1 (min domains (max 1 n)) in
@@ -240,11 +246,14 @@ let mkdir_p dir =
 
 (* Per-shard subdirectories mirror how each domain could stream its own
    output file without contending on a shared writer; the report at the
-   top level is the aggregated view. *)
+   top level is the aggregated view. Filenames are prefixed with the
+   manifest index: sanitizing collapses distinct entry names ("gemm#0"
+   and "gemm_0" both sanitize to "gemm_0"), and manifests may repeat a
+   name outright, so the index is what guarantees one file per entry. *)
 let write_outputs ~dir rp =
   mkdir_p dir;
-  List.iter
-    (fun r ->
+  List.iteri
+    (fun idx r ->
       match r.r_status with
       | Failed _ -> ()
       | Done ->
@@ -253,7 +262,8 @@ let write_outputs ~dir rp =
           in
           mkdir_p shard_dir;
           let path =
-            Filename.concat shard_dir (sanitize r.r_name ^ ".mlir")
+            Filename.concat shard_dir
+              (Printf.sprintf "%03d-%s.mlir" idx (sanitize r.r_name))
           in
           Out_channel.with_open_text path (fun oc ->
               Out_channel.output_string oc r.r_ir))

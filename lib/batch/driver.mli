@@ -69,6 +69,7 @@ val result_signature : entry_result -> string
 val report_json : report -> string
 
 (** [write_outputs ~dir rp] writes each successful entry's IR to
-    [dir/shard-N/name.mlir] and the JSON report to [dir/report.json],
-    creating directories as needed. *)
+    [dir/shard-N/III-name.mlir] ([III] the zero-padded manifest index —
+    sanitized names are not unique) and the JSON report to
+    [dir/report.json], creating directories as needed. *)
 val write_outputs : dir:string -> report -> unit

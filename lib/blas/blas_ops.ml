@@ -11,16 +11,14 @@ let names =
 
 let is_blas (op : Core.op) = List.mem op.o_name names
 
-let registered = ref false
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  Dialect.register_once registered @@ fun () ->
     Dialect.register_all
       (List.map
          (fun n -> Dialect.def ~summary:"vendor library call" n)
          names)
-  end
 
 let call3 name b x y z =
   register ();

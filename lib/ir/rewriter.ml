@@ -98,9 +98,11 @@ let counter_totals () =
    chains would bloat ops rewritten many times. *)
 let max_src_locs = 8
 
-let try_apply p ctx op =
-  let reg = registry () in
-  let pstats = stats_for p.p_name in
+(* [reg] and [pstats] are resolved once per driver run (see [resolve]
+   below), not per attempt: with millions of attempts per compile, a
+   DLS fetch plus a per-name Hashtbl lookup here would be a measurable
+   per-attempt tax on the hottest path in the rewriter. *)
+let try_apply reg pstats p ctx op =
   reg.match_attempts <- reg.match_attempts + 1;
   pstats.st_attempts <- pstats.st_attempts + 1;
   (* Observe the attempt through the listener stack: ops the rewrite
@@ -234,6 +236,31 @@ end
 
 let freeze = Frozen.of_patterns
 
+(* A frozen set viewed through the running domain's registry: each
+   candidate pattern is paired with its stats row, resolved once per
+   driver run. Frozen sets stay immutable and shareable across domains;
+   this per-run view is what keeps the per-attempt path free of DLS
+   fetches and per-name lookups. *)
+type resolved = {
+  rs_reg : registry;
+  rs_index : (string, (pattern * stats) list) Hashtbl.t;
+  rs_any : (pattern * stats) list;
+}
+
+let resolve (fz : Frozen.t) =
+  let reg = registry () in
+  let attach ps = List.map (fun p -> (p, stats_for p.p_name)) ps in
+  let index = Hashtbl.create (Hashtbl.length fz.Frozen.f_index * 2) in
+  Hashtbl.iter
+    (fun name ps -> Hashtbl.replace index name (attach ps))
+    fz.Frozen.f_index;
+  { rs_reg = reg; rs_index = index; rs_any = attach fz.Frozen.f_any }
+
+let resolved_candidates rs op_name =
+  match Hashtbl.find_opt rs.rs_index op_name with
+  | Some l -> l
+  | None -> rs.rs_any
+
 (* Every pattern of the set participates in the driver run, whether or not
    dispatch ever attempts it — the per-pass reports list them all. *)
 let activate (fz : Frozen.t) =
@@ -265,6 +292,7 @@ let with_driver_span name fz f =
 let apply_greedily root frozen =
   with_driver_span "greedy-worklist" frozen @@ fun () ->
   activate frozen;
+  let rs = resolve frozen in
   (* LIFO worklist. Seeded post-order and popped from the top, the
      outermost ops come off first: a nest-consuming raising pattern fires
      on the outer loop before the driver wastes matcher work on the
@@ -318,11 +346,11 @@ let apply_greedily root frozen =
         if op != root && Core.is_under ~root op then begin
           let rec try_patterns = function
             | [] -> ()
-            | p :: rest ->
+            | (p, pstats) :: rest ->
                 if op.Core.o_parent == None then ()
                 else
                   let ctx = { root; builder = Builder.before op } in
-                  if try_apply p ctx op then begin
+                  if try_apply rs.rs_reg pstats p ctx op then begin
                     incr applications;
                     if !applications > max_iterations then
                       Support.Diag.errorf
@@ -335,7 +363,7 @@ let apply_greedily root frozen =
                   end
                   else try_patterns rest
           in
-          try_patterns (Frozen.candidates frozen op.Core.o_name)
+          try_patterns (resolved_candidates rs op.Core.o_name)
         end
       done);
   !applications
@@ -346,6 +374,7 @@ let apply_greedily root frozen =
 let apply_greedily_fullsweep root frozen =
   with_driver_span "greedy-fullsweep" frozen @@ fun () ->
   activate frozen;
+  let rs = resolve frozen in
   let applications = ref 0 in
   let progress = ref true in
   let iterations = ref 0 in
@@ -363,13 +392,13 @@ let apply_greedily_fullsweep root frozen =
        Core.walk_safe root (fun op ->
            if op != root && op.Core.o_parent != None then
              List.iter
-               (fun p ->
+               (fun (p, pstats) ->
                  if op.Core.o_parent != None then
                    let ctx = { root; builder = Builder.before op } in
-                   if try_apply p ctx op then (
+                   if try_apply rs.rs_reg pstats p ctx op then (
                      incr applications;
                      raise Applied))
-               (Frozen.candidates frozen op.Core.o_name))
+               (resolved_candidates rs op.Core.o_name))
      with Applied -> progress := true)
   done;
   !applications
@@ -377,6 +406,7 @@ let apply_greedily_fullsweep root frozen =
 let apply_sweeps root frozen =
   with_driver_span "sweeps" frozen @@ fun () ->
   activate frozen;
+  let rs = resolve frozen in
   let applications = ref 0 in
   let progress = ref true in
   let sweeps = ref 0 in
@@ -389,14 +419,14 @@ let apply_sweeps root frozen =
     Core.walk_safe root (fun op ->
         if op != root && op.Core.o_parent != None then
           List.iter
-            (fun p ->
+            (fun (p, pstats) ->
               if op.Core.o_parent != None then
                 let ctx = { root; builder = Builder.before op } in
-                if try_apply p ctx op then begin
+                if try_apply rs.rs_reg pstats p ctx op then begin
                   incr applications;
                   progress := true
                 end)
-            (Frozen.candidates frozen op.Core.o_name))
+            (resolved_candidates rs op.Core.o_name))
   done;
   !applications
 

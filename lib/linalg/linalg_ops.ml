@@ -133,11 +133,10 @@ let verify_fill (op : Core.op) =
   if Core.num_operands op <> 1 then D.errorf "linalg.fill: expects output";
   ignore (Attr.get_float (Core.attr op "value"))
 
-let registered = ref false
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  Dialect.register_once registered @@ fun () ->
     Std_dialect.Memref_ops.register ();
     Dialect.register_all
       [
@@ -154,7 +153,6 @@ let register () =
         Dialect.def ~verify:verify_fill ~summary:"broadcast a scalar"
           "linalg.fill";
       ]
-  end
 
 let build3 name b x y z =
   register ();

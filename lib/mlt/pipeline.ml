@@ -21,6 +21,17 @@ let config_name = function
 let all_figure9_configs =
   [ Clang_O3; Pluto_default; Pluto_best; Mlt_linalg; Mlt_blas ]
 
+(* The op-def registry is write-once-before-parallelism (see
+   Ir.Dialect): multi-domain drivers call this on the spawning domain so
+   worker domains only ever read it. *)
+let register_dialects () =
+  Std_dialect.Arith.register ();
+  Std_dialect.Memref_ops.register ();
+  Std_dialect.Scf.register ();
+  Affine.Affine_ops.register ();
+  Linalg.Linalg_ops.register ();
+  Blas.Blas_ops.register ()
+
 let sole_func m =
   match List.filter Core.is_func (Core.ops_of_block (Core.module_block m)) with
   | [ f ] -> f

@@ -27,6 +27,14 @@ type config =
 
 val config_name : config -> string
 
+(** [register_dialects ()] eagerly registers every dialect's op
+    definitions into the {!Ir.Dialect} registry. The registry is
+    write-once-before-parallelism, so anything that spawns domains which
+    compile IR must call this first, on the spawning domain
+    ([Batch.Driver.run] does). Idempotent and cheap after the first
+    call. *)
+val register_dialects : unit -> unit
+
 val all_figure9_configs : config list
 
 (** The configuration's transformation pipeline, as pass-manager passes

@@ -26,11 +26,10 @@ let verify_constant (op : Core.op) =
   | Some (Attr.Int _), t when Typ.is_int t -> ()
   | _ -> D.errorf "arith.constant: value attribute does not match type"
 
-let registered = ref false
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  Dialect.register_once registered @@ fun () ->
     Dialect.register
       (Dialect.def ~verify:verify_constant ~summary:"scalar constant"
          "arith.constant");
@@ -48,7 +47,6 @@ let register () =
           (Dialect.def ~verify:(verify_binop ~want_float:false) ~commutative
              ~summary:"integer binary op" name))
       int_binops
-  end
 
 let constant_float b ?(typ = Typ.F32) f =
   register ();

@@ -24,11 +24,10 @@ let verify_access ~is_store (op : Core.op) =
       D.errorf "%s: expected a memref operand, got %s" op.o_name
         (Typ.to_string t)
 
-let registered = ref false
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  Dialect.register_once registered @@ fun () ->
     Dialect.register
       (Dialect.def ~verify:verify_alloc ~summary:"allocate a buffer"
          "memref.alloc");
@@ -43,7 +42,6 @@ let register () =
       (Dialect.def
          ~verify:(verify_access ~is_store:true)
          ~summary:"indexed store" "memref.store")
-  end
 
 let alloc b ?hint typ =
   register ();

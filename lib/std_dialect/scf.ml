@@ -15,16 +15,14 @@ let verify_for (op : Core.op) =
   | last :: _ when String.equal last.o_name "scf.yield" -> ()
   | _ -> D.errorf "scf.for: body must end with scf.yield"
 
-let registered = ref false
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  Dialect.register_once registered @@ fun () ->
     Dialect.register
       (Dialect.def ~verify:verify_for ~summary:"counted loop" "scf.for");
     Dialect.register
       (Dialect.def ~terminator:true ~summary:"loop terminator" "scf.yield")
-  end
 
 let for_ b ?(hint = "i") ~lb ~ub ~step body =
   register ();

@@ -246,10 +246,92 @@ let test_fault_isolation () =
             r.Batch.Driver.r_ir)
     rp.Batch.Driver.rp_results
 
+(* ---- write-once dialect registration ------------------------------- *)
+
+let test_register_once_parallel () =
+  (* Four domains race a first registration through
+     [Dialect.register_once]: the body must run exactly once, and no
+     domain may return from [register_once] while the dialect is only
+     half-registered (the old non-atomic flag allowed both). *)
+  let names = List.init 32 (fun i -> Printf.sprintf "test.regonce%d" i) in
+  let flag = Atomic.make false in
+  let body_runs = Atomic.make 0 in
+  let register () =
+    Dialect.register_once flag @@ fun () ->
+      Atomic.incr body_runs;
+      List.iter
+        (fun n ->
+          (* Spread the writes out so a racing reader would land mid-way. *)
+          for _ = 1 to 10_000 do ignore (Sys.opaque_identity n) done;
+          Dialect.register (Dialect.def ~summary:"race probe" n))
+        names
+  in
+  let probe () =
+    register ();
+    (* The property under test: once register_once returns, every def of
+       the dialect is visible — not just a prefix. *)
+    List.for_all Dialect.is_registered names
+  in
+  let others = List.init 3 (fun _ -> Domain.spawn probe) in
+  let mine = probe () in
+  let all = mine :: List.map Domain.join others in
+  Alcotest.(check bool) "no domain saw a half-registered dialect" true
+    (List.for_all Fun.id all);
+  Alcotest.(check int) "registration body ran exactly once" 1
+    (Atomic.get body_runs);
+  (* Nested registrations (linalg registers memref, affine registers
+     arith + memref) must not deadlock on the registration mutex. *)
+  Linalg.Linalg_ops.register ();
+  Affine.Affine_ops.register ();
+  Alcotest.(check bool) "nested registration completed" true
+    (Dialect.is_registered "linalg.matmul"
+    && Dialect.is_registered "memref.load"
+    && Dialect.is_registered "affine.for")
+
+(* ---- sharded output filenames -------------------------------------- *)
+
+let test_write_outputs_distinct_files () =
+  (* "gemm#0" and "gemm_0" both sanitize to "gemm_0"; the manifest-index
+     prefix must keep their .mlir outputs apart. *)
+  let src = "void f(float A[4]) { for (int i = 0; i < 4; ++i) A[i] = 0.0; }" in
+  let entries =
+    List.map
+      (fun name ->
+        {
+          Batch.Manifest.e_name = name;
+          e_source = Batch.Manifest.Inline src;
+          e_config = Mlt.Pipeline.Mlt_linalg;
+        })
+      [ "gemm#0"; "gemm_0" ]
+  in
+  let rp = Batch.Driver.run ~domains:1 (Batch.Manifest.of_entries entries) in
+  Alcotest.(check int) "both entries compiled" 2 (Batch.Driver.ok_count rp);
+  let dir = Filename.temp_dir "mlt_batch_out" "" in
+  Batch.Driver.write_outputs ~dir rp;
+  let shard0 = Filename.concat dir "shard-0" in
+  let mlir_files =
+    Array.to_list (Sys.readdir shard0)
+    |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+    |> List.sort compare
+  in
+  List.iter
+    (fun f -> Sys.remove (Filename.concat shard0 f))
+    (Array.to_list (Sys.readdir shard0));
+  Sys.remove (Filename.concat dir "report.json");
+  Sys.rmdir shard0;
+  Sys.rmdir dir;
+  Alcotest.(check (list string)) "one output file per manifest entry"
+    [ "000-gemm_0.mlir"; "001-gemm_0.mlir" ]
+    mlir_files
+
 let suite =
   [
     Alcotest.test_case "parallel Id_gen.next bursts never collide" `Quick
       test_id_gen_parallel_unique;
+    Alcotest.test_case "parallel first dialect registration is write-once"
+      `Quick test_register_once_parallel;
+    Alcotest.test_case "sanitized-name collisions keep distinct outputs"
+      `Quick test_write_outputs_distinct_files;
     Alcotest.test_case "parallel create_op bursts never collide" `Quick
       test_create_op_parallel_unique;
     Alcotest.test_case "listener stack restored when body raises" `Quick
