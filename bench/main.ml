@@ -343,7 +343,7 @@ let interp () =
     "(speedup = walker / compiled wall-clock; stage = one-time closure \
      compilation;\n checked = accesses the interval analysis could not prove \
      in bounds.)\n";
-  let oc = open_out "BENCH_interp.json" in
+  Support.Atomic_io.with_file ~path:"BENCH_interp.json" (fun oc ->
   Printf.fprintf oc "{\n  \"quick\": %b,\n  \"n\": %d,\n  \"results\": [\n"
     !quick n;
   List.iteri
@@ -357,8 +357,7 @@ let interp () =
         compiled.Interp.Compile.c_unchecked_accesses
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Printf.fprintf oc "  ]\n}\n");
   Printf.printf "wrote BENCH_interp.json\n"
 
 (* ---------------- Frozen pattern sets ------------------------------------ *)
@@ -468,7 +467,7 @@ let patterns_section () =
       ("greedy scf raise 8^3 gemm (unindexed)", fz_relaxed);
     ];
 
-  let oc = open_out "BENCH_patterns.json" in
+  Support.Atomic_io.with_file ~path:"BENCH_patterns.json" (fun oc ->
   Printf.fprintf oc
     "{\n  \"quick\": %b,\n  \"set_size\": %d,\n  \"total_attempts_indexed\": \
      %d,\n  \"total_attempts_unindexed\": %d,\n  \"attempt_ratio\": %.2f,\n  \
@@ -490,8 +489,7 @@ let patterns_section () =
       Printf.fprintf oc "    %S: %.1f%s\n" n est
         (if i = List.length micro - 1 then "" else ","))
     micro;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc;
+  Printf.fprintf oc "  }\n}\n");
   Printf.printf "wrote BENCH_patterns.json\n";
 
   (* Tracing call sites stay in the rewrite hot path permanently; with no
@@ -649,6 +647,55 @@ let batch () =
     (List.length frun.Batch.Driver.rp_results)
     (String.concat ", " failed_names)
     (if fault_isolated then "isolated" else "NOT ISOLATED");
+  (* Warm-cache phase: the same manifest through a fresh content-addressed
+     cache (cold fill), then again through a *reopened* handle (warm).
+     The warm run must serve every entry from the cache and still match
+     the sequential oracle byte-for-byte — the repeat-traffic economics
+     the cache exists for, measured end to end including the journal
+     replay of Cache.open_. *)
+  let cache_dir = Filename.temp_dir "mlt_bench_cache" "" in
+  let cold =
+    Batch.Driver.run ~domains:pool_domains
+      ~cache:(Batch.Cache.open_ ~dir:cache_dir)
+      manifest
+  in
+  let warm =
+    Batch.Driver.run ~domains:pool_domains
+      ~cache:(Batch.Cache.open_ ~dir:cache_dir)
+      manifest
+  in
+  let warm_identical =
+    List.for_all2
+      (fun (s : Batch.Driver.entry_result) (w : Batch.Driver.entry_result) ->
+        String.equal s.Batch.Driver.r_ir w.Batch.Driver.r_ir
+        && String.equal
+             (Batch.Driver.result_signature s)
+             (Batch.Driver.result_signature w))
+      seq.Batch.Driver.rp_results warm.Batch.Driver.rp_results
+  in
+  let warm_all_hits =
+    warm.Batch.Driver.rp_cache_hits = Batch.Manifest.size manifest
+  in
+  let cache_speedup =
+    cold.Batch.Driver.rp_wall_seconds /. warm.Batch.Driver.rp_wall_seconds
+  in
+  Printf.printf "cold cache fill: %8.3f s   (%d misses)\n"
+    cold.Batch.Driver.rp_wall_seconds cold.Batch.Driver.rp_cache_misses;
+  Printf.printf "warm cache:      %8.3f s   (%.1fx, %d/%d served from cache)\n"
+    warm.Batch.Driver.rp_wall_seconds cache_speedup
+    warm.Batch.Driver.rp_cache_hits
+    (Batch.Manifest.size manifest);
+  Printf.printf "warm run matches sequential oracle: %s%s\n"
+    (if warm_identical then "yes" else "NO")
+    (if warm_all_hits then "" else "  (WARNING: not all entries hit)");
+  let rec rm_rf path =
+    if (try Sys.is_directory path with Sys_error _ -> false) then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  rm_rf cache_dir;
   let speedup_target = 2.5 in
   (* Shared/loaded CI hosts can report 4+ cores yet not deliver 4 cores
      of throughput, so core count alone cannot justify hard-failing on
@@ -659,20 +706,24 @@ let batch () =
     | Some ("1" | "true" | "yes") -> true
     | _ -> false
   in
-  let oc = open_out "BENCH_batch.json" in
-  Printf.fprintf oc
-    "{\n  \"quick\": %b,\n  \"entries\": %d,\n  \"domains\": %d,\n  \
-     \"cores\": %d,\n  \"seq_seconds\": %.6f,\n  \"par_seconds\": %.6f,\n  \
-     \"speedup\": %.3f,\n  \"speedup_target\": %.2f,\n  \
-     \"speedup_asserted\": %b,\n  \"ir_identical\": %b,\n  \
-     \"stats_identical\": %b,\n  \"aggregate_identical\": %b,\n  \
-     \"fault_isolated\": %b\n}\n"
-    !quick
-    (Batch.Manifest.size manifest)
-    pool_domains cores seq.Batch.Driver.rp_wall_seconds
-    par.Batch.Driver.rp_wall_seconds speedup speedup_target assert_speedup
-    (!ir_mismatches = 0) (!stat_mismatches = 0) aggregate_same fault_isolated;
-  close_out oc;
+  Support.Atomic_io.write_file ~path:"BENCH_batch.json"
+    (Printf.sprintf
+       "{\n  \"quick\": %b,\n  \"entries\": %d,\n  \"domains\": %d,\n  \
+        \"cores\": %d,\n  \"seq_seconds\": %.6f,\n  \"par_seconds\": %.6f,\n  \
+        \"speedup\": %.3f,\n  \"speedup_target\": %.2f,\n  \
+        \"speedup_asserted\": %b,\n  \"ir_identical\": %b,\n  \
+        \"stats_identical\": %b,\n  \"aggregate_identical\": %b,\n  \
+        \"fault_isolated\": %b,\n  \"cache_cold_seconds\": %.6f,\n  \
+        \"cache_warm_seconds\": %.6f,\n  \"cache_speedup\": %.3f,\n  \
+        \"cache_warm_hits\": %d,\n  \"cache_warm_identical\": %b\n}\n"
+       !quick
+       (Batch.Manifest.size manifest)
+       pool_domains cores seq.Batch.Driver.rp_wall_seconds
+       par.Batch.Driver.rp_wall_seconds speedup speedup_target assert_speedup
+       (!ir_mismatches = 0) (!stat_mismatches = 0) aggregate_same
+       fault_isolated cold.Batch.Driver.rp_wall_seconds
+       warm.Batch.Driver.rp_wall_seconds cache_speedup
+       warm.Batch.Driver.rp_cache_hits warm_identical);
   Printf.printf "wrote BENCH_batch.json\n";
   if !ir_mismatches > 0 || !stat_mismatches > 0 || not aggregate_same then
     Support.Diag.errorf
@@ -681,6 +732,12 @@ let batch () =
   if not fault_isolated then
     Support.Diag.errorf
       "bench batch: crashing inputs did not fail in isolation";
+  if not (warm_identical && warm_all_hits) then
+    Support.Diag.errorf
+      "bench batch: warm-cache run diverged (%d/%d hits, identical=%b)"
+      warm.Batch.Driver.rp_cache_hits
+      (Batch.Manifest.size manifest)
+      warm_identical;
   if assert_speedup && speedup < speedup_target then
     Support.Diag.errorf
       "bench batch: %.2fx speedup on %d domains below the %.1fx target"

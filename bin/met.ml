@@ -17,9 +17,7 @@ let run input no_distribute output =
     let text = Ir.Printer.op_to_string m ^ "\n" in
     (match output with
     | None -> print_string text
-    | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc text));
+    | Some path -> Support.Atomic_io.write_file ~path text);
     Ok ()
   with
   | Support.Diag.Error (loc, msg) -> Error (Support.Diag.to_string loc msg)

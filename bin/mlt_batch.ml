@@ -7,12 +7,14 @@
 
      mlt-batch manifest.json --domains 4 --output out/
      mlt-batch manifest.json --seq --report report.json
-     mlt-batch manifest.json --pipeline mlt-blas --remarks *)
+     mlt-batch manifest.json --pipeline mlt-blas --remarks
+     mlt-batch manifest.json --cache-dir cache/            # warm the cache
+     mlt-batch manifest.json --cache-dir cache/ --resume   # after a kill *)
 
 open Cmdliner
 
 let run manifest_path domains seq pipeline capture_remarks output report
-    quiet =
+    cache_dir resume quiet =
   try
     let manifest = Batch.Manifest.load manifest_path in
     let manifest =
@@ -37,25 +39,51 @@ let run manifest_path domains seq pipeline capture_remarks output report
         | Some n -> Support.Diag.errorf "--domains %d: need at least 1" n
         | None -> Domain.recommended_domain_count ()
     in
-    let rp = Batch.Driver.run ~domains ~capture_remarks manifest in
+    let cache =
+      match cache_dir with
+      | Some dir -> Some (Batch.Cache.open_ ~dir)
+      | None ->
+          if resume then
+            Support.Diag.errorf
+              "--resume needs --cache-dir: completed entries are served \
+               from the checkpointed cache"
+          else None
+    in
+    (match cache with
+    | Some c when not quiet ->
+        let r = Batch.Cache.recovery c in
+        let dropped =
+          r.Batch.Cache.rec_swept_tmp + r.Batch.Cache.rec_unjournaled
+          + r.Batch.Cache.rec_missing_blob
+        in
+        if dropped > 0 || r.Batch.Cache.rec_torn_journal then
+          Printf.eprintf
+            "mlt-batch: cache recovery dropped %d partial entr%s\n%!"
+            dropped
+            (if dropped = 1 then "y" else "ies")
+    | _ -> ());
+    let rp = Batch.Driver.run ~domains ~capture_remarks ?cache manifest in
     (match output with
     | Some dir -> Batch.Driver.write_outputs ~dir rp
     | None -> ());
     (match report with
     | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc (Batch.Driver.report_json rp);
-            Out_channel.output_char oc '\n')
+        Support.Atomic_io.write_file ~path
+          (Batch.Driver.report_json rp ^ "\n")
     | None -> if not quiet then print_endline (Batch.Driver.report_json rp));
     let failed = Batch.Driver.failed_count rp in
     if not quiet then
       Printf.eprintf
-        "mlt-batch: %d/%d entries ok on %d domain%s in %.3fs%s\n%!"
+        "mlt-batch: %d/%d entries ok on %d domain%s in %.3fs%s%s\n%!"
         (Batch.Driver.ok_count rp)
         (List.length rp.Batch.Driver.rp_results)
         rp.Batch.Driver.rp_domains
         (if rp.Batch.Driver.rp_domains = 1 then "" else "s")
         rp.Batch.Driver.rp_wall_seconds
+        (if not rp.Batch.Driver.rp_cache_enabled then ""
+         else
+           Printf.sprintf " (%d cached, %d compiled)"
+             rp.Batch.Driver.rp_cache_hits rp.Batch.Driver.rp_cache_misses)
         (if failed = 0 then "" else Printf.sprintf " (%d FAILED)" failed);
     List.iter
       (fun (r : Batch.Driver.entry_result) ->
@@ -130,6 +158,30 @@ let report_arg =
         ~doc:
           "Write the JSON report here instead of printing it to stdout.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed compilation cache (created if missing): \
+           entries whose source + pipeline already compiled are served \
+           from DIR without recompiling; misses compile and commit \
+           crash-safely (docs/CACHE.md). Every commit is a checkpoint, \
+           so a killed run re-invoked with the same DIR resumes where \
+           it stopped.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume a killed run: requires $(b,--cache-dir); completed \
+           entries are served from the checkpointed cache, only \
+           unfinished work recompiles. (With $(b,--cache-dir) this is \
+           the default behavior — the flag documents intent and fails \
+           fast when no cache directory is given.)")
+
 let quiet_arg =
   Arg.(
     value & flag
@@ -139,7 +191,8 @@ let cmd =
   let term =
     Term.(
       const run $ manifest_arg $ domains_arg $ seq_arg $ pipeline_arg
-      $ remarks_arg $ output_arg $ report_arg $ quiet_arg)
+      $ remarks_arg $ output_arg $ report_arg $ cache_dir_arg $ resume_arg
+      $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "mlt-batch" ~version:"1.0"

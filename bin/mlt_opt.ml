@@ -122,8 +122,7 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
     in
     (match output with
     | None -> print_string text
-    | Some path -> Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc text));
+    | Some path -> Support.Atomic_io.write_file ~path text);
     if timing then print_string (Ir.Pass.report_table pm);
     if pass_stats then print_endline (Ir.Pass.report_json pm);
     Ok ()

@@ -5,6 +5,7 @@ type entry_result = {
   r_config : string;
   r_shard : int;
   r_status : status;
+  r_cached : bool;
   r_ir : string;
   r_seconds : float;
   r_match_attempts : int;
@@ -16,6 +17,9 @@ type entry_result = {
 type report = {
   rp_domains : int;
   rp_wall_seconds : float;
+  rp_cache_enabled : bool;
+  rp_cache_hits : int;
+  rp_cache_misses : int;
   rp_results : entry_result list;
   rp_summary : Ir.Pass.summary list;
 }
@@ -26,14 +30,127 @@ let ok_count rp =
 
 let failed_count rp = List.length rp.rp_results - ok_count rp
 
+(* ---- cache payloads ------------------------------------------------------ *)
+
+module J = Support.Json
+
+(* The artifact payload format: what a committed cache blob must carry to
+   reconstruct an entry_result whose result_signature (and report row,
+   wall-clock aside) is identical to a fresh compilation's. Bump together
+   with any field change so old blobs read as misses, not as garbage. *)
+let payload_format = 2
+
+let pattern_stat_to_json (p : Ir.Rewriter.pattern_stat) =
+  J.Obj
+    [
+      ("name", J.Str p.ps_name);
+      ("attempts", J.num_int p.ps_attempts);
+      ("hits", J.num_int p.ps_hits);
+      ("activations", J.num_int p.ps_activations);
+    ]
+
+let summary_to_json (s : Ir.Pass.summary) =
+  J.Obj
+    [
+      ("name", J.Str s.s_name);
+      ("runs", J.num_int s.s_runs);
+      ("seconds", J.Num s.s_seconds);
+      ("match_attempts", J.num_int s.s_match_attempts);
+      ("rewrites", J.num_int s.s_rewrites);
+      ("ops_delta", J.num_int s.s_ops_delta);
+      ("patterns", J.List (List.map pattern_stat_to_json s.s_patterns));
+    ]
+
+exception Bad_payload
+
+let jstr = function J.Str s -> s | _ -> raise Bad_payload
+let jint v = match J.to_int v with Some i -> i | None -> raise Bad_payload
+let jfloat = function J.Num f -> f | _ -> raise Bad_payload
+let jlist = function J.List l -> l | _ -> raise Bad_payload
+
+let jfield key json =
+  match J.member key json with Some v -> v | None -> raise Bad_payload
+
+let pattern_stat_of_json j : Ir.Rewriter.pattern_stat =
+  {
+    ps_name = jstr (jfield "name" j);
+    ps_attempts = jint (jfield "attempts" j);
+    ps_hits = jint (jfield "hits" j);
+    ps_activations = jint (jfield "activations" j);
+  }
+
+let summary_of_json j : Ir.Pass.summary =
+  {
+    s_name = jstr (jfield "name" j);
+    s_runs = jint (jfield "runs" j);
+    s_seconds = jfloat (jfield "seconds" j);
+    s_match_attempts = jint (jfield "match_attempts" j);
+    s_rewrites = jint (jfield "rewrites" j);
+    s_ops_delta = jint (jfield "ops_delta" j);
+    s_patterns = List.map pattern_stat_of_json (jlist (jfield "patterns" j));
+  }
+
+let payload_of_result r =
+  J.Obj
+    [
+      ("format", J.num_int payload_format);
+      ("pipeline", J.Str r.r_config);
+      ("ir", J.Str r.r_ir);
+      ("ir_digest", J.Str (Support.Digest.string r.r_ir));
+      ("seconds", J.Num r.r_seconds);
+      ("match_attempts", J.num_int r.r_match_attempts);
+      ("rewrites", J.num_int r.r_rewrites);
+      ("remarks", J.List (List.map (fun m -> J.Str m) r.r_remarks));
+      ("passes", J.List (List.map summary_to_json r.r_summary));
+    ]
+
+(* Decode a committed payload back into a (cached) result for the entry
+   at hand. Any shape mismatch — wrong format version, missing field,
+   IR digest divergence — raises [Bad_payload]; the caller treats it as
+   a miss and recompiles. *)
+let result_of_payload ~entry ~shard ~seconds json =
+  if jint (jfield "format" json) <> payload_format then raise Bad_payload;
+  let ir = jstr (jfield "ir" json) in
+  if
+    not
+      (String.equal (jstr (jfield "ir_digest" json)) (Support.Digest.string ir))
+  then raise Bad_payload;
+  {
+    r_name = entry.Manifest.e_name;
+    r_config = Mlt.Pipeline.config_name entry.Manifest.e_config;
+    r_shard = shard;
+    r_status = Done;
+    r_cached = true;
+    r_ir = ir;
+    r_seconds = seconds;
+    r_match_attempts = jint (jfield "match_attempts" json);
+    r_rewrites = jint (jfield "rewrites" json);
+    r_summary = List.map summary_of_json (jlist (jfield "passes" json));
+    r_remarks = List.map jstr (jlist (jfield "remarks" json));
+  }
+
+(* The content address of an entry's artifact: everything that determines
+   the compiled output (and the recorded remarks) must be in here —
+   source text, source kind, pipeline + pattern-set identity, and whether
+   a remark sink was installed during compilation. *)
+let entry_key ~capture_remarks (e : Manifest.entry) src =
+  Cache.key
+    [
+      "batch-entry";
+      (if Manifest.is_ir e then "ir" else "c");
+      Mlt.Pipeline.cache_identity e.Manifest.e_config;
+      (if capture_remarks then "remarks" else "no-remarks");
+      src;
+    ]
+
 (* ---- per-entry compilation (the FaultHandler boundary) ------------------ *)
 
 (* Everything an entry does — reading its file, parsing, the whole pass
-   pipeline, printing — happens inside this function, and any exception it
-   raises is converted into a [Failed] result. One crashing input
-   therefore fails exactly its own manifest entry; the shard moves on to
-   its next entry. *)
-let compile_entry ~capture_remarks ~shard (e : Manifest.entry) =
+   pipeline, printing, cache lookup/commit — happens inside this
+   function, and any exception it raises is converted into a [Failed]
+   result. One crashing input therefore fails exactly its own manifest
+   entry; the shard moves on to its next entry. *)
+let compile_entry ~capture_remarks ~shard ?cache (e : Manifest.entry) =
   let t0 = Unix.gettimeofday () in
   let remarks_rev = ref [] in
   let attempts0, rewrites0 = Ir.Rewriter.counter_totals () in
@@ -51,6 +168,7 @@ let compile_entry ~capture_remarks ~shard (e : Manifest.entry) =
       r_config = Mlt.Pipeline.config_name e.Manifest.e_config;
       r_shard = shard;
       r_status = status;
+      r_cached = false;
       r_ir = ir;
       r_seconds = Unix.gettimeofday () -. t0;
       r_match_attempts = attempts1 - attempts0;
@@ -59,30 +177,68 @@ let compile_entry ~capture_remarks ~shard (e : Manifest.entry) =
       r_remarks = List.rev !remarks_rev;
     }
   in
-  match
-    with_remark_capture (fun () ->
-        let src = Manifest.source_text e in
-        let file =
-          match e.Manifest.e_source with
-          | Manifest.File path -> Some path
-          | Manifest.Inline _ -> None
+  (* Serve from the cache if we can. Lookup failures of any kind (bad
+     payload, I/O error) fall through to a fresh compile — the cache can
+     cost a recompilation, never a wrong answer or a crashed entry. *)
+  let cached =
+    match cache with
+    | None -> None
+    | Some c -> (
+        let lookup () =
+          let src = Manifest.source_text e in
+          match Cache.find c (entry_key ~capture_remarks e src) with
+          | None -> None
+          | Some payload ->
+              Some
+                (result_of_payload ~entry:e ~shard
+                   ~seconds:(Unix.gettimeofday () -. t0)
+                   payload)
         in
-        let m =
-          if Manifest.is_ir e then Ir.Parser.parse_module ?file src
-          else Met.Emit_affine.translate ?file src
-        in
-        let pm = Ir.Pass.create_manager () in
-        let m = Mlt.Pipeline.prepare_module ~pm e.Manifest.e_config m in
-        (Ir.Printer.op_to_string m ^ "\n", Ir.Pass.summarize pm))
-  with
-  | ir, summary -> finish Done ir summary
-  | exception Support.Diag.Error (loc, msg) ->
-      finish (Failed (Support.Diag.to_string loc msg)) "" []
-  | exception exn -> finish (Failed (Printexc.to_string exn)) "" []
+        match lookup () with v -> v | exception _ -> None)
+  in
+  match cached with
+  | Some r -> r
+  | None -> (
+      match
+        with_remark_capture (fun () ->
+            let src = Manifest.source_text e in
+            let file =
+              match e.Manifest.e_source with
+              | Manifest.File path -> Some path
+              | Manifest.Inline _ -> None
+            in
+            let m =
+              if Manifest.is_ir e then Ir.Parser.parse_module ?file src
+              else Met.Emit_affine.translate ?file src
+            in
+            let pm = Ir.Pass.create_manager () in
+            let m = Mlt.Pipeline.prepare_module ~pm e.Manifest.e_config m in
+            (src, Ir.Printer.op_to_string m ^ "\n", Ir.Pass.summarize pm))
+      with
+      | src, ir, summary ->
+          let r = finish Done ir summary in
+          (* Commit to the cache *after* the entry succeeded: this
+             journal append is the checkpoint record — a killed run
+             restarts and serves every committed entry without
+             recompiling. A failed store degrades to a warning; the
+             compiled entry itself is unaffected. *)
+          (match cache with
+          | None -> ()
+          | Some c -> (
+              let key = entry_key ~capture_remarks e src in
+              try Cache.store c ~key (payload_of_result r)
+              with exn ->
+                Printf.eprintf
+                  "mlt-batch: warning: cache store failed for %S: %s\n%!"
+                  e.Manifest.e_name (Printexc.to_string exn)));
+          r
+      | exception Support.Diag.Error (loc, msg) ->
+          finish (Failed (Support.Diag.to_string loc msg)) "" []
+      | exception exn -> finish (Failed (Printexc.to_string exn)) "" [])
 
 (* ---- the domain pool ---------------------------------------------------- *)
 
-let run ?(domains = 1) ?(capture_remarks = false) manifest =
+let run ?(domains = 1) ?(capture_remarks = false) ?cache manifest =
   (* The Dialect op-def registry is write-once-before-parallelism:
      populate it fully on this domain so the workers spawned below only
      ever read it (Ir.Dialect.register_once makes even a racing first
@@ -96,12 +252,13 @@ let run ?(domains = 1) ?(capture_remarks = false) manifest =
   (* Round-robin sharding: entry [i] belongs to shard [i mod domains].
      Each result slot is written by exactly one domain, so the plain
      array needs no synchronization; [Domain.join] publishes the
-     writes. *)
+     writes. The cache handle, when present, is shared — its operations
+     serialize on an internal mutex. *)
   let work shard () =
     let i = ref shard in
     while !i < n do
       results.(!i) <-
-        Some (compile_entry ~capture_remarks ~shard entries.(!i));
+        Some (compile_entry ~capture_remarks ~shard ?cache entries.(!i));
       i := !i + domains
     done
   in
@@ -134,30 +291,20 @@ let run ?(domains = 1) ?(capture_remarks = false) manifest =
       (fun acc r -> Ir.Pass.merge_summaries acc r.r_summary)
       [] results
   in
+  let hits =
+    List.length (List.filter (fun r -> r.r_cached) results)
+  in
   {
     rp_domains = domains;
     rp_wall_seconds = wall;
+    rp_cache_enabled = cache <> None;
+    rp_cache_hits = hits;
+    rp_cache_misses = (if cache = None then 0 else n - hits);
     rp_results = results;
     rp_summary = merged;
   }
 
 (* ---- deterministic signatures ------------------------------------------- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 (* Render summaries without the wall-clock fields, so two runs of the
    same work can be compared for equality: pass/pattern counters are
@@ -184,46 +331,41 @@ let result_signature r =
 (* ---- report ------------------------------------------------------------- *)
 
 let status_fields = function
-  | Done -> [ ("status", "\"ok\"") ]
-  | Failed msg ->
-      [ ("status", "\"error\""); ("error", "\"" ^ json_escape msg ^ "\"") ]
+  | Done -> [ ("status", J.Str "ok") ]
+  | Failed msg -> [ ("status", J.Str "error"); ("error", J.Str msg) ]
 
-let json_of_fields fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ v) fields)
-  ^ "}"
-
-let entry_json r =
-  json_of_fields
+let entry_json_value r =
+  J.Obj
     ([
-       ("name", "\"" ^ json_escape r.r_name ^ "\"");
-       ("pipeline", "\"" ^ json_escape r.r_config ^ "\"");
-       ("shard", string_of_int r.r_shard);
+       ("name", J.Str r.r_name);
+       ("pipeline", J.Str r.r_config);
+       ("shard", J.num_int r.r_shard);
+       ("cached", J.Bool r.r_cached);
      ]
     @ status_fields r.r_status
     @ [
-        ("seconds", Printf.sprintf "%.9f" r.r_seconds);
-        ("match_attempts", string_of_int r.r_match_attempts);
-        ("rewrites", string_of_int r.r_rewrites);
-        ( "remarks",
-          "["
-          ^ String.concat ","
-              (List.map (fun m -> "\"" ^ json_escape m ^ "\"") r.r_remarks)
-          ^ "]" );
-        ("passes", Ir.Pass.summaries_json r.r_summary);
+        ("seconds", J.Num r.r_seconds);
+        ("match_attempts", J.num_int r.r_match_attempts);
+        ("rewrites", J.num_int r.r_rewrites);
+        ("remarks", J.List (List.map (fun m -> J.Str m) r.r_remarks));
+        ("passes", Ir.Pass.summaries_json_value r.r_summary);
       ])
 
-let report_json rp =
-  json_of_fields
+let report_json_value rp =
+  J.Obj
     [
-      ("domains", string_of_int rp.rp_domains);
-      ("wall_seconds", Printf.sprintf "%.9f" rp.rp_wall_seconds);
-      ("ok", string_of_int (ok_count rp));
-      ("failed", string_of_int (failed_count rp));
-      ( "entries",
-        "[" ^ String.concat "," (List.map entry_json rp.rp_results) ^ "]" );
-      ("passes", Ir.Pass.summaries_json rp.rp_summary);
+      ("domains", J.num_int rp.rp_domains);
+      ("wall_seconds", J.Num rp.rp_wall_seconds);
+      ("ok", J.num_int (ok_count rp));
+      ("failed", J.num_int (failed_count rp));
+      ("cache_enabled", J.Bool rp.rp_cache_enabled);
+      ("cache_hits", J.num_int rp.rp_cache_hits);
+      ("cache_misses", J.num_int rp.rp_cache_misses);
+      ("entries", J.List (List.map entry_json_value rp.rp_results));
+      ("passes", Ir.Pass.summaries_json_value rp.rp_summary);
     ]
+
+let report_json rp = J.to_string (report_json_value rp)
 
 (* ---- sharded output ----------------------------------------------------- *)
 
@@ -235,23 +377,16 @@ let sanitize name =
       | _ -> '_')
     name
 
-let mkdir_p dir =
-  let rec go d =
-    if not (Sys.file_exists d) then begin
-      go (Filename.dirname d);
-      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
-    end
-  in
-  go dir
-
 (* Per-shard subdirectories mirror how each domain could stream its own
    output file without contending on a shared writer; the report at the
    top level is the aggregated view. Filenames are prefixed with the
    manifest index: sanitizing collapses distinct entry names ("gemm#0"
    and "gemm_0" both sanitize to "gemm_0"), and manifests may repeat a
-   name outright, so the index is what guarantees one file per entry. *)
+   name outright, so the index is what guarantees one file per entry.
+   Every file commits through the atomic writer: a kill mid-run leaves
+   whole files and absent files, never torn ones. *)
 let write_outputs ~dir rp =
-  mkdir_p dir;
+  Support.Atomic_io.mkdir_p dir;
   List.iteri
     (fun idx r ->
       match r.r_status with
@@ -260,15 +395,13 @@ let write_outputs ~dir rp =
           let shard_dir =
             Filename.concat dir (Printf.sprintf "shard-%d" r.r_shard)
           in
-          mkdir_p shard_dir;
+          Support.Atomic_io.mkdir_p shard_dir;
           let path =
             Filename.concat shard_dir
               (Printf.sprintf "%03d-%s.mlir" idx (sanitize r.r_name))
           in
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc r.r_ir))
+          Support.Atomic_io.write_file ~path r.r_ir)
     rp.rp_results;
-  let report_path = Filename.concat dir "report.json" in
-  Out_channel.with_open_text report_path (fun oc ->
-      Out_channel.output_string oc (report_json rp);
-      Out_channel.output_char oc '\n')
+  Support.Atomic_io.write_file
+    ~path:(Filename.concat dir "report.json")
+    (report_json rp ^ "\n")

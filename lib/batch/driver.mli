@@ -2,21 +2,25 @@
     a pool of OCaml domains, compiles every entry through its configured
     {!Mlt.Pipeline}, isolates per-entry faults, and aggregates results
     deterministically (docs/CONCURRENCY.md describes the state model
-    that makes the domain pool sound).
+    that makes the domain pool sound; docs/CACHE.md the compilation
+    cache below).
 
     Roles, after the docudactyl HPC pipeline: manifest loading
     ({!Manifest}), sharding + the domain pool ({!run}), fault handling
     (per-entry — a crashing input fails its own manifest entry only),
-    sharded output ({!write_outputs}), and result aggregation (manifest
-    order, so reports are independent of domain scheduling). *)
+    content-addressed caching with per-entry checkpoint commits
+    ({!Cache}), sharded output ({!write_outputs}), and result
+    aggregation (manifest order, so reports are independent of domain
+    scheduling). *)
 
 type status = Done | Failed of string
 
 type entry_result = {
   r_name : string;
   r_config : string;  (** pipeline config name *)
-  r_shard : int;  (** which shard (= domain index) compiled it *)
+  r_shard : int;  (** which shard (= domain index) compiled/served it *)
   r_status : status;
+  r_cached : bool;  (** served from the compilation cache *)
   r_ir : string;  (** printed IR; [""] when failed *)
   r_seconds : float;
   r_match_attempts : int;  (** rewriter counter delta for this entry *)
@@ -28,6 +32,9 @@ type entry_result = {
 type report = {
   rp_domains : int;
   rp_wall_seconds : float;
+  rp_cache_enabled : bool;
+  rp_cache_hits : int;  (** entries served from the cache *)
+  rp_cache_misses : int;  (** entries compiled (0 when cache disabled) *)
   rp_results : entry_result list;  (** manifest order, all entries *)
   rp_summary : Ir.Pass.summary list;
       (** per-entry summaries merged in manifest order
@@ -47,29 +54,50 @@ val failed_count : report -> int
     makes tactics compute near-miss explanations, which costs compile
     time).
 
+    With [cache], each entry is first looked up by content address
+    (source text + pipeline/pattern-set identity + remark-capture mode);
+    hits are served without compiling, misses compile and then commit —
+    and each commit is a checkpoint: a killed run re-invoked with the
+    same cache serves every committed entry and recompiles only the
+    rest. Cached entries reproduce the original's IR byte-for-byte and
+    its {!result_signature} exactly. One handle may be shared by all
+    worker domains.
+
     Faults: any exception an entry raises ([Diag.Error] or otherwise) is
     caught at the entry boundary and recorded as [Failed]; the run and
-    every other entry complete normally. *)
-val run : ?domains:int -> ?capture_remarks:bool -> Manifest.t -> report
+    every other entry complete normally. Failed entries are never
+    cached. A cache lookup that fails for any reason falls back to
+    compiling; a failed commit warns on stderr and leaves the entry
+    intact. *)
+val run :
+  ?domains:int -> ?capture_remarks:bool -> ?cache:Cache.t -> Manifest.t ->
+  report
 
 (** [compile_entry ~capture_remarks ~shard e] — the single-entry unit of
     work (exposed for tests). Never raises. *)
 val compile_entry :
-  capture_remarks:bool -> shard:int -> Manifest.entry -> entry_result
+  capture_remarks:bool ->
+  shard:int ->
+  ?cache:Cache.t ->
+  Manifest.entry ->
+  entry_result
 
 (** Deterministic comparison keys: summaries and results rendered
     {e without} wall-clock fields, so a 4-domain run can be asserted
-    equal to the sequential oracle. *)
+    equal to the sequential oracle — and a cache-served run to a fresh
+    one. *)
 val summary_signature : Ir.Pass.summary list -> string
 
 val result_signature : entry_result -> string
 
 (** The whole report as one JSON object (schema in
-    docs/CONCURRENCY.md). *)
+    docs/CONCURRENCY.md), rendered by {!Support.Json.to_string}. *)
 val report_json : report -> string
 
 (** [write_outputs ~dir rp] writes each successful entry's IR to
     [dir/shard-N/III-name.mlir] ([III] the zero-padded manifest index —
     sanitized names are not unique) and the JSON report to
-    [dir/report.json], creating directories as needed. *)
+    [dir/report.json], creating directories as needed. All files commit
+    through {!Support.Atomic_io} — a kill mid-write never leaves a torn
+    artifact. *)
 val write_outputs : dir:string -> report -> unit

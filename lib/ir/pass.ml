@@ -295,74 +295,62 @@ let summary_table m =
     (summarize m);
   Buffer.contents buf
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_of_fields fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ v) fields)
-  ^ "}"
-
-let json_array items = "[" ^ String.concat "," items ^ "]"
+(* All JSON reports render through the shared Support.Json writer, so
+   escaping and number formatting cannot diverge between emitters (the
+   batch report embeds these same values). *)
+module J = Support.Json
 
 let pattern_stat_json (p : Rewriter.pattern_stat) =
-  json_of_fields
+  J.Obj
     [
-      ("name", "\"" ^ json_escape p.ps_name ^ "\"");
-      ("attempts", string_of_int p.ps_attempts);
-      ("hits", string_of_int p.ps_hits);
-      ("activations", string_of_int p.ps_activations);
+      ("name", J.Str p.ps_name);
+      ("attempts", J.num_int p.ps_attempts);
+      ("hits", J.num_int p.ps_hits);
+      ("activations", J.num_int p.ps_activations);
     ]
 
 let timing_json (t : timing) =
-  json_of_fields
+  J.Obj
     [
-      ("name", "\"" ^ json_escape t.pass_name ^ "\"");
-      ("seconds", Printf.sprintf "%.9f" t.seconds);
-      ("ops_before", string_of_int t.ops_before);
-      ("ops_after", string_of_int t.ops_after);
-      ("match_attempts", string_of_int t.match_attempts);
-      ("rewrites", string_of_int t.rewrites);
-      ("depth", string_of_int t.depth);
-      ("patterns", json_array (List.map pattern_stat_json t.pattern_stats));
+      ("name", J.Str t.pass_name);
+      ("seconds", J.Num t.seconds);
+      ("ops_before", J.num_int t.ops_before);
+      ("ops_after", J.num_int t.ops_after);
+      ("match_attempts", J.num_int t.match_attempts);
+      ("rewrites", J.num_int t.rewrites);
+      ("depth", J.num_int t.depth);
+      ("patterns", J.List (List.map pattern_stat_json t.pattern_stats));
     ]
 
 let report_json m =
-  json_of_fields
-    [
-      ("total_seconds", Printf.sprintf "%.9f" (total_seconds m));
-      ("passes", json_array (List.map timing_json (timings m)));
-    ]
+  J.to_string
+    (J.Obj
+       [
+         ("total_seconds", J.Num (total_seconds m));
+         ("passes", J.List (List.map timing_json (timings m)));
+       ])
 
 let summary_entry_json s =
-  json_of_fields
+  J.Obj
     [
-      ("name", "\"" ^ json_escape s.s_name ^ "\"");
-      ("runs", string_of_int s.s_runs);
-      ("seconds", Printf.sprintf "%.9f" s.s_seconds);
-      ("match_attempts", string_of_int s.s_match_attempts);
-      ("rewrites", string_of_int s.s_rewrites);
-      ("ops_delta", string_of_int s.s_ops_delta);
-      ("patterns", json_array (List.map pattern_stat_json s.s_patterns));
+      ("name", J.Str s.s_name);
+      ("runs", J.num_int s.s_runs);
+      ("seconds", J.Num s.s_seconds);
+      ("match_attempts", J.num_int s.s_match_attempts);
+      ("rewrites", J.num_int s.s_rewrites);
+      ("ops_delta", J.num_int s.s_ops_delta);
+      ("patterns", J.List (List.map pattern_stat_json s.s_patterns));
     ]
 
-let summaries_json summaries =
-  json_array (List.map summary_entry_json summaries)
+let summaries_json_value summaries =
+  J.List (List.map summary_entry_json summaries)
+
+let summaries_json summaries = J.to_string (summaries_json_value summaries)
 
 let summary_json m =
-  json_of_fields
-    [
-      ("total_seconds", Printf.sprintf "%.9f" (total_seconds m));
-      ("passes", summaries_json (summarize m));
-    ]
+  J.to_string
+    (J.Obj
+       [
+         ("total_seconds", J.Num (total_seconds m));
+         ("passes", summaries_json_value (summarize m));
+       ])

@@ -127,3 +127,7 @@ val summary_json : manager -> string
     {!summary_json}), for embedding aggregated cross-manager summaries
     in other reports (the batch driver's). *)
 val summaries_json : summary list -> string
+
+(** Same array as a {!Support.Json} value, for emitters that build a
+    larger report through the shared writer. *)
+val summaries_json_value : summary list -> Support.Json.t

@@ -107,21 +107,10 @@ end
 
 (* ---- Chrome trace-event exporter ---------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Events stream into a buffer as they happen, so the exporter formats
+   them by hand — but through the shared escaping, so its strings can
+   never diverge from the Support.Json writer's. *)
+let json_escape = Support.Json.escape_string
 
 let arg_json = function
   | A_str s -> Printf.sprintf "\"%s\"" (json_escape s)
@@ -179,11 +168,10 @@ module Chrome = struct
     Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
       (Buffer.contents t.buf)
 
-  let write t path =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (contents t))
+  (* Atomic commit: an exception (or kill) mid-export leaves either no
+     trace file or the previous complete one — never a torn JSON that a
+     viewer chokes on — and never leaks the channel. *)
+  let write t path = Support.Atomic_io.write_file ~path (contents t)
 
   let detach t = uninstall t.handle
 end

@@ -70,6 +70,18 @@ let passes_of_config config =
   | Mlt_affine_blis ->
       [ T.Canonicalize.pass; Tactics.raise_to_affine_matmul_pass () ]
 
+(* Bump whenever pipeline or pattern-set *behavior* changes in a way the
+   pass list below cannot express (a tactic's rewrite changes, a tile
+   size moves, the printer's output format shifts): the version is part
+   of every compilation-cache key, so stale artifacts from the previous
+   behavior can never be served (docs/CACHE.md). *)
+let cache_version = "mlt-pipeline-v1"
+
+let cache_identity config =
+  Printf.sprintf "%s:%s[%s]" cache_version (config_name config)
+    (String.concat ";"
+       (List.map (fun (p : Pass.t) -> p.Pass.name) (passes_of_config config)))
+
 let prepare_module ?pm config m =
   let f = sole_func m in
   let mgr = match pm with Some pm -> pm | None -> Pass.create_manager () in

@@ -37,6 +37,14 @@ val register_dialects : unit -> unit
 
 val all_figure9_configs : config list
 
+(** [cache_identity config] — the pipeline + pattern-set identity string
+    mixed into every compilation-cache key ({!Batch.Cache}): a version
+    tag (bumped when transformation behavior changes without the pass
+    list changing) plus the configuration's pass-name list. Two configs
+    with equal identity are promised to compile any source to identical
+    IR. *)
+val cache_identity : config -> string
+
 (** The configuration's transformation pipeline, as pass-manager passes
     in application order (empty for [Clang_O3]). Pattern-backed passes
     compile their tactic sets once, at list construction. *)

@@ -1,0 +1,21 @@
+type t = string
+
+let string s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
+
+(* Length-prefix each part so the encoding is injective: ["ab"; "c"] and
+   ["a"; "bc"] digest differently. *)
+let strings parts =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  string (Buffer.contents buf)
+
+let is_hex s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s

@@ -1,0 +1,16 @@
+(** Content digests for the artifact cache: 32-character lowercase hex
+    strings (MD5 — a content address, not a security boundary). *)
+
+type t = string
+
+(** Digest of one string. *)
+val string : string -> t
+
+(** Digest of a sequence of strings under an injective (length-prefixed)
+    encoding — [strings ["ab"; "c"]] differs from [strings ["a"; "bc"]].
+    The cache key constructor. *)
+val strings : string list -> t
+
+(** [is_hex s] — [s] has the exact shape of a digest (32 lowercase hex
+    chars); used to recognize cache object filenames. *)
+val is_hex : string -> bool

@@ -63,17 +63,44 @@ let parse_string st =
             | 'r' -> Buffer.add_char buf '\r'
             | 't' -> Buffer.add_char buf '\t'
             | 'u' ->
-                if st.pos + 4 > String.length st.src then
-                  fail st "truncated \\u escape";
-                let hex = String.sub st.src st.pos 4 in
-                let code =
-                  try int_of_string ("0x" ^ hex)
-                  with _ -> fail st "invalid \\u escape"
+                let read_hex4 () =
+                  if st.pos + 4 > String.length st.src then
+                    fail st "truncated \\u escape";
+                  let value = ref 0 in
+                  for k = st.pos to st.pos + 3 do
+                    let d =
+                      match st.src.[k] with
+                      | '0' .. '9' as c -> Char.code c - Char.code '0'
+                      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                      | _ -> fail st "invalid \\u escape"
+                    in
+                    value := (!value lsl 4) lor d
+                  done;
+                  st.pos <- st.pos + 4;
+                  !value
                 in
-                st.pos <- st.pos + 4;
-                (* Good enough for validation: store the code point raw
-                   (no UTF-8 encoding, no surrogate pairing). *)
-                Buffer.add_char buf (Char.chr (code land 0xff))
+                let code = read_hex4 () in
+                let code =
+                  if code >= 0xD800 && code <= 0xDBFF then begin
+                    (* High surrogate: must be followed by \uDC00-\uDFFF;
+                       the pair encodes one supplementary code point. *)
+                    if
+                      st.pos + 2 > String.length st.src
+                      || st.src.[st.pos] <> '\\'
+                      || st.src.[st.pos + 1] <> 'u'
+                    then fail st "unpaired high surrogate in \\u escape";
+                    st.pos <- st.pos + 2;
+                    let low = read_hex4 () in
+                    if low < 0xDC00 || low > 0xDFFF then
+                      fail st "unpaired high surrogate in \\u escape";
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  end
+                  else if code >= 0xDC00 && code <= 0xDFFF then
+                    fail st "unpaired low surrogate in \\u escape"
+                  else code
+                in
+                Buffer.add_utf_8_uchar buf (Uchar.of_int code)
             | c -> fail st (Printf.sprintf "invalid escape \\%C" c));
             go ())
     | Some c when Char.code c < 0x20 -> fail st "control character in string"
@@ -189,4 +216,76 @@ let parse src =
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ---- writer -------------------------------------------------------------- *)
+
+(* The one escaping routine every JSON emitter in the tree goes through
+   (reports, pass stats, traces): printable ASCII and UTF-8 bytes pass
+   through, the two JSON metacharacters and the common controls use their
+   short escapes, and remaining control characters use \u00XX. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Integer-valued floats print as integers (counters stay "3", not "3.");
+   other finite floats print with the fewest digits that round-trip. *)
+let number_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.to_string: non-finite number";
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number_repr f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string s);
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\":";
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let num_int i = Num (float_of_int i)
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f < 1e15 ->
+      Some (int_of_float f)
   | _ -> None

@@ -33,3 +33,26 @@ dune exec bin/mlt_batch.exe -- examples/kernels/batch_manifest.json \
   --domains 2 --quiet --output "$obs_tmp/batch"
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/batch/report.json" \
   entries passes
+# Smoke the compilation cache: a second run over the same manifest and
+# cache directory must be served entirely from the cache (cache_misses 0)
+# and write byte-identical per-entry IR (docs/CACHE.md).
+dune exec bin/mlt_batch.exe -- examples/kernels/batch_manifest.json \
+  --domains 2 --quiet --cache-dir "$obs_tmp/cache" \
+  --output "$obs_tmp/batch-cold"
+dune exec bin/mlt_batch.exe -- examples/kernels/batch_manifest.json \
+  --domains 2 --quiet --cache-dir "$obs_tmp/cache" --resume \
+  --output "$obs_tmp/batch-warm"
+dune exec tools/json_check/json_check.exe -- \
+  "$obs_tmp/batch-warm/report.json" entries passes
+grep -q '"cache_misses":0' "$obs_tmp/batch-warm/report.json" || {
+  echo "check.sh: warm cache run was not served from the cache" >&2
+  exit 1
+}
+grep -q '"cache_hits":0,' "$obs_tmp/batch-warm/report.json" && {
+  echo "check.sh: warm cache run reported zero hits" >&2
+  exit 1
+}
+diff -r -x report.json "$obs_tmp/batch-cold" "$obs_tmp/batch-warm" || {
+  echo "check.sh: cache-served IR differs from freshly compiled IR" >&2
+  exit 1
+}

@@ -27,4 +27,5 @@ let () =
       ("negative-controls", Test_negative.suite);
       ("mlt", Test_mlt.suite);
       ("batch", Test_batch.suite);
+      ("cache", Test_cache.suite);
     ]

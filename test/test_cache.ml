@@ -1,0 +1,303 @@
+(* Crash-safety of the content-addressed compilation cache.
+
+   The commit protocol (docs/CACHE.md) promises that a kill at any
+   instant loses at most the one in-flight entry and never corrupts the
+   store. The first half drives [Cache.store] into every labelled crash
+   point via the fault-injection hook and reopens the directory each
+   time: previously committed entries must survive, the in-flight entry
+   must be gone, and the recovery counters must say exactly what was
+   dropped. SIGKILL debris that in-process exceptions cannot produce
+   (orphaned temp files, torn journal lines, vanished blobs) is
+   manufactured by hand. The second half is the driver-level resume
+   story: a run whose Nth commit is killed, re-invoked against the same
+   cache directory, must serve every checkpointed entry and still
+   produce a report signature identical to an uncached run. *)
+
+module C = Batch.Cache
+module J = Support.Json
+module W = Workloads.Polybench
+
+let rec rm_rf path =
+  if try Sys.is_directory path with Sys_error _ -> false then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    try Sys.rmdir path with Sys_error _ -> ()
+  end
+  else try Sys.remove path with Sys_error _ -> ()
+
+let with_tmp_dir f =
+  let dir = Filename.temp_dir "mlt_cache_test" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Raise [Injected_crash] when the commit protocol reaches [label]. *)
+let with_crash_at label f =
+  C.crash_hook := (fun l -> if l = label then raise (C.Injected_crash l));
+  Fun.protect ~finally:(fun () -> C.crash_hook := ignore) f
+
+let k name = C.key [ "test"; name ]
+
+let payload name =
+  J.Obj [ ("name", J.Str name); ("len", J.num_int (String.length name)) ]
+
+let store t name = C.store t ~key:(k name) (payload name)
+
+(* The store layout is part of the documented format (docs/CACHE.md), so
+   tests may address blobs directly to manufacture SIGKILL debris. *)
+let blob_path dir key =
+  Filename.concat
+    (Filename.concat (Filename.concat dir "objects") (String.sub key 0 2))
+    (key ^ ".json")
+
+let json =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (J.to_string v))
+    ( = )
+
+(* ---- the happy path ----------------------------------------------- *)
+
+let test_persistence () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  Alcotest.(check int) "fresh store empty" 0 (C.entry_count t);
+  store t "a";
+  store t "b";
+  Alcotest.(check (option json)) "immediate find"
+    (Some (payload "a"))
+    (C.find t (k "a"));
+  let t2 = C.open_ ~dir in
+  Alcotest.(check int) "both survive reopen" 2 (C.entry_count t2);
+  Alcotest.(check (option json)) "payload round-trips the disk"
+    (Some (payload "b"))
+    (C.find t2 (k "b"));
+  let r = C.recovery t2 in
+  Alcotest.(check int) "no tmp swept" 0 r.C.rec_swept_tmp;
+  Alcotest.(check int) "no unjournaled blobs" 0 r.C.rec_unjournaled;
+  Alcotest.(check int) "no missing blobs" 0 r.C.rec_missing_blob;
+  Alcotest.(check bool) "journal not torn" false r.C.rec_torn_journal;
+  Alcotest.(check (pair int int)) "hit/miss counted" (1, 0) (C.hit_miss t2)
+
+(* ---- one test per crash point ------------------------------------- *)
+
+(* Kill the commit of "b" at [label]; "a" (committed earlier) must
+   survive the reopen, "b" must not exist, and recovery must drop
+   [expect_unjournaled] partial blobs. The handle that took the crash
+   must also still work: a retried store of "b" commits normally. *)
+let check_crash_at label ~expect_unjournaled () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  store t "a";
+  (match with_crash_at label (fun () -> store t "b") with
+  | () -> Alcotest.failf "crash point %S never fired" label
+  | exception C.Injected_crash l ->
+      Alcotest.(check string) "crashed at the injected point" label l);
+  Alcotest.(check bool) "in-flight entry not committed" false
+    (C.mem t (k "b"));
+  let t2 = C.open_ ~dir in
+  Alcotest.(check bool) "committed entry survives" true (C.mem t2 (k "a"));
+  Alcotest.(check bool) "in-flight entry dropped" false (C.mem t2 (k "b"));
+  Alcotest.(check (option json)) "committed payload intact"
+    (Some (payload "a"))
+    (C.find t2 (k "a"));
+  let r = C.recovery t2 in
+  Alcotest.(check int) "recovery dropped only the in-flight blob"
+    expect_unjournaled r.C.rec_unjournaled;
+  Alcotest.(check int) "no stray temp files" 0 r.C.rec_swept_tmp;
+  (* The crashed handle is not poisoned: the retry commits. *)
+  store t "b";
+  Alcotest.(check bool) "retry after crash commits" true (C.mem t (k "b"))
+
+(* In-process exceptions unwind through [Atomic_io.with_file], which
+   removes its temp file — so a *kill* mid-write is simulated by
+   planting the orphaned temp file a real SIGKILL would leave. *)
+let test_sweeps_tmp_debris () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  store t "a";
+  let sub = Filename.concat (Filename.concat dir "objects") "zz" in
+  Support.Atomic_io.mkdir_p sub;
+  let debris = Filename.concat sub "deadbeef.json.tmp-999-1" in
+  Out_channel.with_open_bin debris (fun oc ->
+      Out_channel.output_string oc "{\"torn\":");
+  let t2 = C.open_ ~dir in
+  Alcotest.(check int) "temp debris swept" 1 (C.recovery t2).C.rec_swept_tmp;
+  Alcotest.(check bool) "debris file removed" false (Sys.file_exists debris);
+  Alcotest.(check bool) "committed entry untouched" true (C.mem t2 (k "a"))
+
+let test_torn_journal_drops_last_line () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  store t "a";
+  store t "b";
+  (* A kill mid-append tears only the final line: no trailing newline. *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644
+      (Filename.concat dir "journal")
+  in
+  output_string oc ("commit " ^ String.make 32 '0');
+  close_out oc;
+  let t2 = C.open_ ~dir in
+  Alcotest.(check bool) "torn journal detected" true
+    (C.recovery t2).C.rec_torn_journal;
+  Alcotest.(check int) "earlier commits intact" 2 (C.entry_count t2);
+  (* Recovery compacted the journal: reopening again is clean. *)
+  let t3 = C.open_ ~dir in
+  Alcotest.(check bool) "compacted journal no longer torn" false
+    (C.recovery t3).C.rec_torn_journal;
+  Alcotest.(check int) "still two entries" 2 (C.entry_count t3)
+
+let test_missing_blob_dropped () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  store t "a";
+  store t "b";
+  Sys.remove (blob_path dir (k "a"));
+  let t2 = C.open_ ~dir in
+  Alcotest.(check int) "journal line without blob dropped" 1
+    (C.recovery t2).C.rec_missing_blob;
+  Alcotest.(check bool) "vanished entry forgotten" false (C.mem t2 (k "a"));
+  Alcotest.(check (option json)) "surviving entry served"
+    (Some (payload "b"))
+    (C.find t2 (k "b"))
+
+let test_corrupt_blob_is_a_miss () =
+  with_tmp_dir @@ fun dir ->
+  let t = C.open_ ~dir in
+  store t "a";
+  Out_channel.with_open_bin (blob_path dir (k "a")) (fun oc ->
+      Out_channel.output_string oc "not json at all");
+  let t2 = C.open_ ~dir in
+  Alcotest.(check (option json)) "corrupt blob reads as a miss" None
+    (C.find t2 (k "a"));
+  Alcotest.(check bool) "and is invalidated" false (C.mem t2 (k "a"));
+  Alcotest.(check (pair int int)) "counted as a miss" (0, 1)
+    (C.hit_miss t2);
+  (* Invalidation unlinked the blob, so the next reopen is clean. *)
+  let t3 = C.open_ ~dir in
+  Alcotest.(check int) "no corpse left behind" 0 (C.entry_count t3)
+
+(* ---- driver-level checkpoint / resume ----------------------------- *)
+
+let mini_manifest n =
+  let entries =
+    List.filteri (fun i _ -> i < n) (W.tiny_suite ())
+    |> List.map (fun (name, src) ->
+           {
+             Batch.Manifest.e_name = name;
+             e_source = Batch.Manifest.Inline src;
+             e_config = Mlt.Pipeline.Mlt_linalg;
+           })
+  in
+  Batch.Manifest.of_entries entries
+
+let check_reports_match ~msg (a : Batch.Driver.report)
+    (b : Batch.Driver.report) =
+  List.iter2
+    (fun (x : Batch.Driver.entry_result) (y : Batch.Driver.entry_result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s IR byte-identical" msg
+           x.Batch.Driver.r_name)
+        x.Batch.Driver.r_ir y.Batch.Driver.r_ir;
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s signature identical" msg
+           x.Batch.Driver.r_name)
+        (Batch.Driver.result_signature x)
+        (Batch.Driver.result_signature y))
+    a.Batch.Driver.rp_results b.Batch.Driver.rp_results;
+  Alcotest.(check string)
+    (msg ^ ": aggregate signature identical")
+    (Batch.Driver.summary_signature a.Batch.Driver.rp_summary)
+    (Batch.Driver.summary_signature b.Batch.Driver.rp_summary)
+
+let test_warm_run_served_entirely_from_cache () =
+  with_tmp_dir @@ fun dir ->
+  let manifest = mini_manifest 3 in
+  let uncached = Batch.Driver.run ~domains:1 manifest in
+  let cold = Batch.Driver.run ~domains:2 ~cache:(C.open_ ~dir) manifest in
+  let warm = Batch.Driver.run ~domains:2 ~cache:(C.open_ ~dir) manifest in
+  Alcotest.(check (pair int int)) "cold run all misses" (0, 3)
+    (cold.Batch.Driver.rp_cache_hits, cold.Batch.Driver.rp_cache_misses);
+  Alcotest.(check (pair int int)) "warm run all hits" (3, 0)
+    (warm.Batch.Driver.rp_cache_hits, warm.Batch.Driver.rp_cache_misses);
+  List.iter
+    (fun (r : Batch.Driver.entry_result) ->
+      Alcotest.(check bool)
+        (r.Batch.Driver.r_name ^ " flagged cached") true
+        r.Batch.Driver.r_cached)
+    warm.Batch.Driver.rp_results;
+  check_reports_match ~msg:"cold vs uncached" uncached cold;
+  check_reports_match ~msg:"warm vs uncached" uncached warm
+
+let test_killed_run_resumes_from_checkpoints () =
+  with_tmp_dir @@ fun dir ->
+  let manifest = mini_manifest 3 in
+  let oracle = Batch.Driver.run ~domains:1 manifest in
+  (* First run: the third commit is killed after its blob rename but
+     before its journal line — the worst spot, because the blob looks
+     complete on disk. The entry itself still succeeds (a failed store
+     is a warning), but its checkpoint never lands. *)
+  let commits = ref 0 in
+  C.crash_hook :=
+    (fun l ->
+      if l = "store:before-journal" then begin
+        incr commits;
+        if !commits = 3 then raise (C.Injected_crash l)
+      end);
+  let first =
+    Fun.protect
+      ~finally:(fun () -> C.crash_hook := ignore)
+      (fun () ->
+        Batch.Driver.run ~domains:1 ~cache:(C.open_ ~dir) manifest)
+  in
+  Alcotest.(check int) "interrupted run still compiles every entry" 3
+    (Batch.Driver.ok_count first);
+  (* Re-invoke with the same cache directory: recovery discards the
+     in-flight blob, the two checkpointed entries are served, only the
+     third recompiles. *)
+  let t = C.open_ ~dir in
+  Alcotest.(check int) "recovery dropped the in-flight blob" 1
+    (C.recovery t).C.rec_unjournaled;
+  Alcotest.(check int) "two checkpoints survived" 2 (C.entry_count t);
+  let resumed = Batch.Driver.run ~domains:1 ~cache:t manifest in
+  Alcotest.(check (pair int int)) "resume: 2 served, 1 recompiled" (2, 1)
+    (resumed.Batch.Driver.rp_cache_hits,
+     resumed.Batch.Driver.rp_cache_misses);
+  check_reports_match ~msg:"resumed vs uncached" oracle resumed
+
+let suite =
+  [
+    Alcotest.test_case "commits persist across reopen" `Quick
+      test_persistence;
+    Alcotest.test_case "kill before the temp file" `Quick
+      (check_crash_at "store:before-tmp" ~expect_unjournaled:0);
+    Alcotest.test_case "kill mid-blob-write" `Quick
+      (check_crash_at "store:mid-blob" ~expect_unjournaled:0);
+    Alcotest.test_case "kill before the rename" `Quick
+      (check_crash_at "store:before-rename" ~expect_unjournaled:0);
+    Alcotest.test_case "kill between rename and journal line" `Quick
+      (check_crash_at "store:before-journal" ~expect_unjournaled:1);
+    Alcotest.test_case "kill after the journal line commits" `Quick
+      (fun () ->
+        (* After the journal line the entry IS committed: the crash only
+           skips the in-memory bookkeeping, and reopening serves it. *)
+        with_tmp_dir @@ fun dir ->
+        let t = C.open_ ~dir in
+        (match with_crash_at "store:after-journal" (fun () -> store t "a")
+         with
+        | () -> Alcotest.fail "crash point never fired"
+        | exception C.Injected_crash _ -> ());
+        let t2 = C.open_ ~dir in
+        Alcotest.(check (option json)) "journaled entry survives"
+          (Some (payload "a"))
+          (C.find t2 (k "a")));
+    Alcotest.test_case "orphaned temp files are swept" `Quick
+      test_sweeps_tmp_debris;
+    Alcotest.test_case "torn journal line is dropped" `Quick
+      test_torn_journal_drops_last_line;
+    Alcotest.test_case "journal line without blob is dropped" `Quick
+      test_missing_blob_dropped;
+    Alcotest.test_case "corrupt blob degrades to a miss" `Quick
+      test_corrupt_blob_is_a_miss;
+    Alcotest.test_case "warm run served entirely from cache" `Quick
+      test_warm_run_served_entirely_from_cache;
+    Alcotest.test_case "killed run resumes from checkpoints" `Quick
+      test_killed_run_resumes_from_checkpoints;
+  ]
