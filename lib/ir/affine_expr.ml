@@ -228,8 +228,77 @@ let rec substitute_dims f = function
   | Floor_div (a, b) -> floor_div (substitute_dims f a) (substitute_dims f b)
   | Mod (a, b) -> mod_ (substitute_dims f a) (substitute_dims f b)
 
-let equal a b = simplify a = simplify b
-let compare a b = Stdlib.compare (simplify a) (simplify b)
+(* Monomorphic structural walk with a physical fast path at every node.
+   Interned expressions (the canonical nodes every [Affine_map] stores)
+   short-circuit immediately. *)
+let rec structural_equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Dim x, Dim y | Sym x, Sym y | Const x, Const y -> Int.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Floor_div (a1, a2), Floor_div (b1, b2)
+  | Mod (a1, a2), Mod (b1, b2) ->
+      structural_equal a1 b1 && structural_equal a2 b2
+  | _ -> false
+
+(* Semantic equality up to simplification, as before — but the walk is
+   monomorphic and already-canonical operands never re-simplify. *)
+let equal a b = a == b || structural_equal (simplify a) (simplify b)
+
+let tag = function
+  | Dim _ -> 0
+  | Sym _ -> 1
+  | Const _ -> 2
+  | Add _ -> 3
+  | Mul _ -> 4
+  | Floor_div _ -> 5
+  | Mod _ -> 6
+
+let rec structural_compare a b =
+  if a == b then 0
+  else
+    match (a, b) with
+    | Dim x, Dim y | Sym x, Sym y | Const x, Const y -> Int.compare x y
+    | Add (a1, a2), Add (b1, b2)
+    | Mul (a1, a2), Mul (b1, b2)
+    | Floor_div (a1, a2), Floor_div (b1, b2)
+    | Mod (a1, a2), Mod (b1, b2) -> (
+        match structural_compare a1 b1 with
+        | 0 -> structural_compare a2 b2
+        | c -> c)
+    | _ -> Int.compare (tag a) (tag b)
+
+let compare a b =
+  if a == b then 0 else structural_compare (simplify a) (simplify b)
+
+module Interner = Support.Intern.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash = Hashtbl.hash
+end)
+
+(* Bottom-up hash-consing: children are canonicalized before the parent is
+   interned, so canonical nodes only ever reference canonical nodes. *)
+let rec intern e =
+  match e with
+  | Dim _ | Sym _ | Const _ -> Interner.intern e
+  | Add (a, b) ->
+      let a' = intern a and b' = intern b in
+      Interner.intern (if a' == a && b' == b then e else Add (a', b'))
+  | Mul (a, b) ->
+      let a' = intern a and b' = intern b in
+      Interner.intern (if a' == a && b' == b then e else Mul (a', b'))
+  | Floor_div (a, b) ->
+      let a' = intern a and b' = intern b in
+      Interner.intern (if a' == a && b' == b then e else Floor_div (a', b'))
+  | Mod (a, b) ->
+      let a' = intern a and b' = intern b in
+      Interner.intern (if a' == a && b' == b then e else Mod (a', b'))
+
+let interner_stats = Interner.stats
 
 (* Precedence: 1 = additive, 2 = multiplicative, 3 = atom. A child is
    parenthesized when its precedence is below what its context requires. *)

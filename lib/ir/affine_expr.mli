@@ -90,7 +90,20 @@ val max_dim : t -> int
 (** [substitute_dims f e] replaces every [Dim i] with [f i]. *)
 val substitute_dims : (int -> t) -> t -> t
 
+(** Semantic equality up to {!simplify}, computed by a monomorphic
+    structural walk with a physical ([==]) fast path — interned canonical
+    nodes (see {!intern}) compare in O(1). *)
 val equal : t -> t -> bool
+
+(** Total order consistent with {!equal}; monomorphic. *)
 val compare : t -> t -> int
+
+(** [intern e] hash-conses [e] bottom-up into canonical nodes (canonical
+    nodes only reference canonical nodes). [Affine_map.make] interns every
+    result expression, so all maps stored in the IR carry canonical
+    expressions. Domain-safe (see {!Support.Intern}). *)
+val intern : t -> t
+
+val interner_stats : unit -> Support.Intern.stats
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

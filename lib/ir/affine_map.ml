@@ -21,10 +21,38 @@ let check_ranges ~n_dims ~n_syms e =
   in
   go e
 
+(* Monomorphic, length-guarded structural equality (no exception-driven
+   [for_all2], no polymorphic compare). Maps coming out of [make] are
+   canonical nodes, so the [==] fast path is the common case. *)
+let rec exprs_equal a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> E.equal x y && exprs_equal xs ys
+  | _ -> false
+
+let structural_equal a b =
+  a == b
+  || Int.equal a.n_dims b.n_dims
+     && Int.equal a.n_syms b.n_syms
+     && exprs_equal a.exprs b.exprs
+
+let equal = structural_equal
+
+module Interner = Support.Intern.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash = Hashtbl.hash
+end)
+
+let interner_stats = Interner.stats
+
 let make ~n_dims ?(n_syms = 0) exprs =
-  let exprs = List.map E.simplify exprs in
+  let exprs = List.map (fun e -> E.intern (E.simplify e)) exprs in
   List.iter (check_ranges ~n_dims ~n_syms) exprs;
-  { n_dims; n_syms; exprs }
+  (* The type is private and every construction path runs through [make],
+     so interning here makes all maps in the IR canonical nodes. *)
+  Interner.intern { n_dims; n_syms; exprs }
 
 let identity n = make ~n_dims:n (List.init n E.dim)
 let constant_map cs = make ~n_dims:0 (List.map E.const cs)
@@ -109,11 +137,6 @@ let inverse_permutation p =
   q
 
 let minor_identity ~n_dims ~results = make ~n_dims (List.map E.dim results)
-
-let equal a b =
-  a.n_dims = b.n_dims && a.n_syms = b.n_syms
-  && List.length a.exprs = List.length b.exprs
-  && List.for_all2 E.equal a.exprs b.exprs
 
 let pp fmt t =
   let pp_vars fmt (prefix, n) =

@@ -56,6 +56,12 @@ val inverse_permutation : int array -> int array
     e.g. [minor_identity ~n_dims:3 ~results:[0;2]] is [(d0,d1,d2) -> (d0,d2)]. *)
 val minor_identity : n_dims:int -> results:int list -> t
 
+(** Structural equality with a physical ([==]) fast path; monomorphic and
+    length-guarded throughout. Because the type is private and every map is
+    built by {!make} — which hash-conses the record and its expressions —
+    structurally equal maps are normally physically equal already. *)
 val equal : t -> t -> bool
+
+val interner_stats : unit -> Support.Intern.stats
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -13,7 +13,22 @@ type t =
       (** reshape dimension grouping, e.g. [{{0,1},2}] *)
   | List of t list
 
+(** Structural equality with a physical ([==]) fast path at every node;
+    monomorphic (no polymorphic compare) and length-guarded on lists.
+    [Float] keeps IEEE semantics ([nan <> nan]) on structurally distinct
+    nodes; a NaN attribute that went through {!intern} is one canonical
+    node, so it equals itself — bitwise NaN equality, as in MLIR. *)
 val equal : t -> t -> bool
+
+(** [intern a] hash-conses [a] (and nested types/attributes, bottom-up)
+    into canonical nodes. The interner distinguishes floats bitwise, so
+    [-0.] and [0.] — which print differently — never merge, and NaN
+    attributes are uniqued by payload instead of defeating the table.
+    [Core.create_op]/[Core.set_attr] intern every attribute they store.
+    Domain-safe (see {!Support.Intern}). *)
+val intern : t -> t
+
+val interner_stats : unit -> Support.Intern.stats
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -3,6 +3,11 @@ module F = Format
 type env = {
   names : (int, string) Hashtbl.t;  (** value id -> printed name *)
   used : (string, unit) Hashtbl.t;
+  next_suffix : (string, int) Hashtbl.t;
+      (** per-base resume point for suffix probing: suffixes below it are
+          all taken (names are never released within an env), so a module
+          with thousands of clones of the same value hints prints in
+          linear instead of quadratic time, with byte-identical output *)
   mutable counter : int;
   debug_locs : bool;
       (** append [loc(...)] trailers; off by default so the output stays
@@ -13,6 +18,7 @@ let create_env ?(debug_locs = false) () =
   {
     names = Hashtbl.create 64;
     used = Hashtbl.create 64;
+    next_suffix = Hashtbl.create 64;
     counter = 0;
     debug_locs;
   }
@@ -53,9 +59,14 @@ let assign_name env (v : Core.value) =
         else
           let rec try_suffix i =
             let cand = Printf.sprintf "%s_%d" base i in
-            if Hashtbl.mem env.used cand then try_suffix (i + 1) else cand
+            if Hashtbl.mem env.used cand then try_suffix (i + 1)
+            else begin
+              Hashtbl.replace env.next_suffix base (i + 1);
+              cand
+            end
           in
-          try_suffix 0
+          try_suffix
+            (Option.value ~default:0 (Hashtbl.find_opt env.next_suffix base))
       in
       Hashtbl.replace env.used name ();
       Hashtbl.replace env.names v.v_id name;

@@ -2,6 +2,34 @@ type ctx = { root : Core.op; builder : Builder.t }
 
 type roots = Any | Roots of string list
 
+(* A structural prefix is a conservative, cheaply checkable necessary
+   condition for a pattern to match, evaluated by the compiled dispatch
+   tree (see [Frozen]) before [p_apply] is ever invoked. Like [roots],
+   it must be an over-approximation: the apply function still guards on
+   the op itself, so dropping the prefix never changes results — only
+   match-attempt counts. *)
+type prefix = {
+  pre_operands : int option;  (** exact operand count *)
+  pre_regions : int option;  (** exact region count *)
+  pre_nest : (int * string list) option;
+      (** exact perfect-nest depth (root op included) and the op names
+          ignored when deciding "sole child" — sorted, deduplicated *)
+}
+
+let prefix ?operands ?regions ?nest_depth ?(nest_ignore = []) () =
+  (match (nest_ignore, nest_depth) with
+  | _ :: _, None ->
+      invalid_arg "Rewriter.prefix: nest_ignore without nest_depth"
+  | _ -> ());
+  let pre_nest =
+    Option.map
+      (fun d ->
+        if d < 1 then invalid_arg "Rewriter.prefix: nest_depth must be >= 1";
+        (d, List.sort_uniq String.compare nest_ignore))
+      nest_depth
+  in
+  { pre_operands = operands; pre_regions = regions; pre_nest }
+
 type stats = {
   mutable st_attempts : int;
   mutable st_hits : int;
@@ -12,6 +40,7 @@ type pattern = {
   p_name : string;
   p_benefit : int;
   p_roots : roots;
+  p_prefix : prefix option;
   p_generated_ops : string list;
   p_apply : ctx -> Core.op -> bool;
 }
@@ -73,7 +102,8 @@ let pattern_totals () =
       })
     reg.order_rev
 
-let pattern ~name ?(benefit = 1) ?(roots = Any) ?(generated_ops = []) apply =
+let pattern ~name ?(benefit = 1) ?(roots = Any) ?prefix ?(generated_ops = [])
+    apply =
   (* Register the name now so report rows appear in registration order on
      the constructing domain, even for patterns dispatch never attempts. *)
   ignore (stats_for name : stats);
@@ -81,6 +111,7 @@ let pattern ~name ?(benefit = 1) ?(roots = Any) ?(generated_ops = []) apply =
     p_name = name;
     p_benefit = benefit;
     p_roots = roots;
+    p_prefix = prefix;
     p_generated_ops = generated_ops;
     p_apply = apply;
   }
@@ -110,7 +141,21 @@ let try_apply reg pstats p ctx op =
      contribute their known source locations (walking the subtree at
      erase time, while it is still intact). *)
   let inserted_rev = ref [] in
-  let inserted_ids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Allocated on the first insertion only: the overwhelmingly common
+     attempt fails without inserting anything, and this prologue runs
+     once per attempt on every op a driver visits. *)
+  let inserted_ids : (int, unit) Hashtbl.t option ref = ref None in
+  let inserted_tbl () =
+    match !inserted_ids with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        inserted_ids := Some tbl;
+        tbl
+  in
+  let was_inserted id =
+    match !inserted_ids with None -> false | Some tbl -> Hashtbl.mem tbl id
+  in
   let src_locs_rev =
     ref (if Support.Loc.is_known op.Core.o_loc then [ op.Core.o_loc ] else [])
   in
@@ -125,14 +170,14 @@ let try_apply reg pstats p ctx op =
     {
       Core.on_op_inserted =
         (fun o ->
-          if not (Hashtbl.mem inserted_ids o.Core.o_id) then begin
-            Hashtbl.replace inserted_ids o.Core.o_id ();
+          if not (was_inserted o.Core.o_id) then begin
+            Hashtbl.replace (inserted_tbl ()) o.Core.o_id ();
             inserted_rev := o :: !inserted_rev
           end);
       on_op_erased =
         (fun erased ->
           Core.walk erased (fun o ->
-              if not (Hashtbl.mem inserted_ids o.Core.o_id) then
+              if not (was_inserted o.Core.o_id) then
                 note_src_loc o.Core.o_loc));
       on_operand_update = ignore;
     }
@@ -181,15 +226,173 @@ let try_apply reg pstats p ctx op =
 (* Stable: equal-benefit patterns keep their registration order, which is
    what makes greedy application deterministic across driver variants. *)
 let sort_by_benefit patterns =
-  List.stable_sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
+  List.stable_sort (fun a b -> Int.compare b.p_benefit a.p_benefit) patterns
+
+(* ---- compiled matcher automaton ----------------------------------------- *)
+
+(* Each op-name bucket's declared prefixes compile into one shared decision
+   tree: the driver evaluates every structural feature at most once per op
+   visit — however many patterns constrain it — and only the surviving
+   leaf's candidates reach [try_apply]. Tests are exact-value, so a node
+   is a branch table plus a default for unconstrained values; patterns
+   that don't constrain a feature are replicated into every branch *and*
+   the default, which preserves the global benefit order inside each leaf
+   (all lists are filtered views of one benefit-sorted list). *)
+type feature =
+  | F_operands
+  | F_regions
+  | F_nest of string list  (** keyed by the (sorted) ignore set *)
+
+type 'a dtree =
+  | Leaf of 'a list
+  | Test of {
+      t_feature : feature;
+      t_cap : int;
+          (** nest probes stop here: 1 + the deepest declared depth, so a
+              million-op spine costs O(max declared depth), not O(spine) *)
+      t_branches : (int * 'a dtree) list;
+      t_default : 'a dtree;
+    }
+
+let ignore_equal = List.equal String.equal
+
+let prefix_constraint p f =
+  match p.p_prefix with
+  | None -> None
+  | Some pre -> (
+      match f with
+      | F_operands -> pre.pre_operands
+      | F_regions -> pre.pre_regions
+      | F_nest ignore -> (
+          match pre.pre_nest with
+          | Some (d, ig) when ignore_equal ig ignore -> Some d
+          | _ -> None))
+
+(* Feature evaluation order: cheap arity tests first, then one nest probe
+   per distinct ignore set (in first-declaration order — in practice one). *)
+let features_of ps =
+  let nest_keys =
+    List.fold_left
+      (fun acc p ->
+        match p.p_prefix with
+        | Some { pre_nest = Some (_, ig); _ }
+          when not (List.exists (ignore_equal ig) acc) ->
+            ig :: acc
+        | _ -> acc)
+      [] ps
+    |> List.rev
+  in
+  F_operands :: F_regions :: List.map (fun ig -> F_nest ig) nest_keys
+
+let rec build_tree features ps =
+  match features with
+  | [] -> Leaf ps
+  | f :: rest ->
+      let values =
+        List.filter_map (fun p -> prefix_constraint p f) ps
+        |> List.sort_uniq Int.compare
+      in
+      if values = [] then build_tree rest ps
+      else
+        let branches =
+          List.map
+            (fun v ->
+              let survivors =
+                List.filter
+                  (fun p ->
+                    match prefix_constraint p f with
+                    | None -> true
+                    | Some d -> Int.equal d v)
+                  ps
+              in
+              (v, build_tree rest survivors))
+            values
+        in
+        let default =
+          build_tree rest
+            (List.filter (fun p -> prefix_constraint p f = None) ps)
+        in
+        let cap =
+          match f with
+          | F_nest _ -> List.fold_left max 0 values + 1
+          | F_operands | F_regions -> 0
+        in
+        Test { t_feature = f; t_cap = cap; t_branches = branches;
+               t_default = default }
+
+(* The sole op of [b] whose name is not in [ignore], scanning with early
+   exit: a second survivor ends the walk immediately, so this is O(1) in
+   practice (the ignored terminator sits at the block's tail). *)
+let sole_child ignore b =
+  let rec go acc = function
+    | [] -> acc
+    | (o : Core.op) :: tl ->
+        if List.exists (fun n -> String.equal n o.Core.o_name) ignore then
+          go acc tl
+        else ( match acc with None -> go (Some o) tl | Some _ -> None)
+  in
+  go None (Core.ops_of_block b)
+
+(* Perfect-nest depth, mirroring [Affine.Loops.perfect_nest] generically:
+   the chain of same-named ops where each link is the sole non-ignored op
+   of its parent's single region's single block. Never descends past
+   [cap] (all exact-depth tests beyond the deepest declared depth fail
+   identically at [cap]). *)
+let rec measured_nest_depth ignore cap depth (op : Core.op) =
+  if depth >= cap then depth
+  else
+    match op.Core.o_regions with
+    | [| r |] -> (
+        match r.Core.r_blocks with
+        | [ b ] -> (
+            match sole_child ignore b with
+            | Some inner when String.equal inner.Core.o_name op.Core.o_name
+              ->
+                measured_nest_depth ignore cap (depth + 1) inner
+            | _ -> depth)
+        | _ -> depth)
+    | _ -> depth
+
+let rec walk_tree (op : Core.op) = function
+  | Leaf ps -> ps
+  | Test { t_feature; t_cap; t_branches; t_default } ->
+      let v =
+        match t_feature with
+        | F_operands -> Array.length op.Core.o_operands
+        | F_regions -> Array.length op.Core.o_regions
+        | F_nest ignore -> measured_nest_depth ignore t_cap 1 op
+      in
+      let rec pick = function
+        | [] -> walk_tree op t_default
+        | (bv, sub) :: tl ->
+            if Int.equal bv v then walk_tree op sub else pick tl
+      in
+      pick t_branches
+
+let rec map_tree f = function
+  | Leaf ps -> Leaf (List.map f ps)
+  | Test t ->
+      Test
+        {
+          t with
+          t_branches = List.map (fun (v, s) -> (v, map_tree f s)) t.t_branches;
+          t_default = map_tree f t.t_default;
+        }
 
 module Frozen = struct
+  type bucket = {
+    bk_all : pattern list;  (** benefit-sorted, prefix-unfiltered *)
+    bk_tree : pattern dtree;
+  }
+
   type t = {
     f_patterns : pattern list;  (** benefit-sorted *)
-    f_index : (string, pattern list) Hashtbl.t;
+    f_index : (string, bucket) Hashtbl.t;
         (** root name -> benefit-sorted candidates (Any merged in) *)
-    f_any : pattern list;  (** fallback for names with no declared root *)
+    f_any : bucket;  (** fallback for names with no declared root *)
   }
+
+  let bucket ps = { bk_all = ps; bk_tree = build_tree (features_of ps) ps }
 
   let of_patterns ps =
     let sorted = sort_by_benefit ps in
@@ -211,21 +414,33 @@ module Frozen = struct
             (fun p ->
               match p.p_roots with
               | Any -> true
-              | Roots names -> List.mem name names)
+              | Roots names -> List.exists (String.equal name) names)
             sorted
         in
-        Hashtbl.replace index name candidates)
+        Hashtbl.replace index name (bucket candidates))
       root_names;
-    { f_patterns = sorted; f_index = index; f_any = any }
+    { f_patterns = sorted; f_index = index; f_any = bucket any }
 
   let patterns t = t.f_patterns
 
   let candidates t op_name =
     match Hashtbl.find_opt t.f_index op_name with
-    | Some l -> l
-    | None -> t.f_any
+    | Some b -> b.bk_all
+    | None -> t.f_any.bk_all
 
-  let relax t = of_patterns (List.map (fun p -> { p with p_roots = Any }) t.f_patterns)
+  let candidates_for t (op : Core.op) =
+    match Hashtbl.find_opt t.f_index op.Core.o_name with
+    | Some b -> walk_tree op b.bk_tree
+    | None -> walk_tree op t.f_any.bk_tree
+
+  let relax t =
+    of_patterns
+      (List.map
+         (fun p -> { p with p_roots = Any; p_prefix = None })
+         t.f_patterns)
+
+  let strip_prefixes t =
+    of_patterns (List.map (fun p -> { p with p_prefix = None }) t.f_patterns)
 
   let size t = List.length t.f_patterns
 
@@ -243,23 +458,28 @@ let freeze = Frozen.of_patterns
    fetches and per-name lookups. *)
 type resolved = {
   rs_reg : registry;
-  rs_index : (string, (pattern * stats) list) Hashtbl.t;
-  rs_any : (pattern * stats) list;
+  rs_index : (string, (pattern * stats) dtree) Hashtbl.t;
+  rs_any : (pattern * stats) dtree;
 }
 
 let resolve (fz : Frozen.t) =
   let reg = registry () in
-  let attach ps = List.map (fun p -> (p, stats_for p.p_name)) ps in
+  let attach = map_tree (fun p -> (p, stats_for p.p_name)) in
   let index = Hashtbl.create (Hashtbl.length fz.Frozen.f_index * 2) in
   Hashtbl.iter
-    (fun name ps -> Hashtbl.replace index name (attach ps))
+    (fun name (b : Frozen.bucket) ->
+      Hashtbl.replace index name (attach b.bk_tree))
     fz.Frozen.f_index;
-  { rs_reg = reg; rs_index = index; rs_any = attach fz.Frozen.f_any }
+  { rs_reg = reg; rs_index = index;
+    rs_any = attach fz.Frozen.f_any.Frozen.bk_tree }
 
-let resolved_candidates rs op_name =
-  match Hashtbl.find_opt rs.rs_index op_name with
-  | Some l -> l
-  | None -> rs.rs_any
+(* One tree walk per op visit: every structural feature the bucket's
+   prefixes test is evaluated at most once here, shared by all candidate
+   patterns; only the surviving leaf reaches [try_apply]. *)
+let resolved_candidates rs (op : Core.op) =
+  match Hashtbl.find_opt rs.rs_index op.Core.o_name with
+  | Some tree -> walk_tree op tree
+  | None -> walk_tree op rs.rs_any
 
 (* Every pattern of the set participates in the driver run, whether or not
    dispatch ever attempts it — the per-pass reports list them all. *)
@@ -363,7 +583,7 @@ let apply_greedily root frozen =
                   end
                   else try_patterns rest
           in
-          try_patterns (resolved_candidates rs op.Core.o_name)
+          try_patterns (resolved_candidates rs op)
         end
       done);
   !applications
@@ -398,7 +618,7 @@ let apply_greedily_fullsweep root frozen =
                    if try_apply rs.rs_reg pstats p ctx op then (
                      incr applications;
                      raise Applied))
-               (resolved_candidates rs op.Core.o_name))
+               (resolved_candidates rs op))
      with Applied -> progress := true)
   done;
   !applications
@@ -426,7 +646,7 @@ let apply_sweeps root frozen =
                   incr applications;
                   progress := true
                 end)
-            (resolved_candidates rs op.Core.o_name))
+            (resolved_candidates rs op))
   done;
   !applications
 

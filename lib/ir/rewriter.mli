@@ -26,6 +26,37 @@ type ctx = {
     changes the result, only the number of match attempts. *)
 type roots = Any | Roots of string list
 
+(** A structural prefix: a conservative, cheaply checkable necessary
+    condition for the pattern to match, declared alongside {!roots} and
+    compiled by {!Frozen.of_patterns} into a decision tree shared by all
+    patterns rooted at the same op name. The drivers evaluate each
+    declared feature once per op visit and only run [p_apply] on the
+    surviving candidates. Like roots, a prefix must over-approximate: the
+    apply function still guards on the op itself, so stripping prefixes
+    ({!Frozen.strip_prefixes}, {!Frozen.relax}) never changes rewriting
+    results — only match-attempt counts (see docs/PERF.md). *)
+type prefix
+
+(** [prefix ?operands ?regions ?nest_depth ?nest_ignore ()] — every
+    component is an {e exact} requirement on the matched op:
+    - [operands]: operand count;
+    - [regions]: region count;
+    - [nest_depth]: length of the op's perfect nest — the chain of
+      same-named ops where each link is the sole op of its parent's
+      single region's single block, not counting ops whose names are in
+      [nest_ignore] (the producer's terminator names, e.g.
+      ["affine.yield"]). Depth [1] is a loop with a non-loop body; the
+      probe mirrors [Affine.Loops.perfect_nest] exactly when
+      [nest_ignore = ["affine.yield"]]. Must be [>= 1]; [nest_ignore]
+      without [nest_depth] is rejected. *)
+val prefix :
+  ?operands:int ->
+  ?regions:int ->
+  ?nest_depth:int ->
+  ?nest_ignore:string list ->
+  unit ->
+  prefix
+
 (** Per-pattern-name counters, shared by every pattern instance
     constructed under the same name ({e domain-local}, monotonic:
     each domain accumulates its own registry — see
@@ -41,6 +72,7 @@ type pattern = {
   p_name : string;
   p_benefit : int;  (** higher applies first *)
   p_roots : roots;
+  p_prefix : prefix option;  (** structural prefix, [None] = no pruning *)
   p_generated_ops : string list;
       (** advisory: op names the rewrite may insert *)
   p_apply : ctx -> Core.op -> bool;
@@ -48,16 +80,18 @@ type pattern = {
           ops via [ctx.builder], erase matched ops) and return [true]. *)
 }
 
-(** [pattern ~name ?benefit ?roots ?generated_ops apply] — [benefit]
-    defaults to 1, [roots] to [Any], [generated_ops] to []. Counters are
-    looked up (or created) by [name] in the running domain's registry, so
-    re-compiling a pattern set keeps accumulating into the same per-name
-    statistics; pattern descriptors themselves carry no mutable state, so
-    a frozen set may be shared across domains. *)
+(** [pattern ~name ?benefit ?roots ?prefix ?generated_ops apply] —
+    [benefit] defaults to 1, [roots] to [Any], [prefix] to none,
+    [generated_ops] to []. Counters are looked up (or created) by [name]
+    in the running domain's registry, so re-compiling a pattern set keeps
+    accumulating into the same per-name statistics; pattern descriptors
+    themselves carry no mutable state, so a frozen set may be shared
+    across domains. *)
 val pattern :
   name:string ->
   ?benefit:int ->
   ?roots:roots ->
+  ?prefix:prefix ->
   ?generated_ops:string list ->
   (ctx -> Core.op -> bool) ->
   pattern
@@ -71,7 +105,11 @@ module Frozen : sig
 
   (** Stable-sorts by descending benefit (ties keep registration order)
       and indexes the benefit-sorted candidate list per declared root
-      name, with [Any]-rooted patterns merged into every list. *)
+      name, with [Any]-rooted patterns merged into every list. Each
+      bucket's declared {!type-prefix}es are additionally compiled into a
+      shared decision tree (operand arity -> region arity -> nest-spine
+      probes), so the drivers evaluate every structural feature at most
+      once per op visit regardless of how many candidates test it. *)
   val of_patterns : pattern list -> t
 
   (** All patterns, benefit-sorted. *)
@@ -79,15 +117,28 @@ module Frozen : sig
 
   (** [candidates t op_name] — the benefit-sorted patterns that can match
       an op named [op_name]: the indexed list for a declared root, or
-      just the [Any]-rooted patterns for any other name. *)
+      just the [Any]-rooted patterns for any other name. Prefixes are
+      not consulted (this is the name-only view). *)
   val candidates : t -> string -> pattern list
 
-  (** [relax t] forgets every root declaration (all patterns become
-      [Any]-rooted): the unindexed-dispatch baseline used by the bench
-      harness and the differential property tests. Rewriting behaviour is
-      identical by the {!roots} contract; only match-attempt counts
-      differ. *)
+  (** [candidates_for t op] — what the drivers attempt at [op]: the
+      name-indexed bucket filtered through its compiled prefix tree.
+      Always a (benefit-ordered) subsequence of
+      [candidates t op.o_name]. *)
+  val candidates_for : t -> Core.op -> pattern list
+
+  (** [relax t] forgets every root declaration {e and} every prefix (all
+      patterns become [Any]-rooted, unpruned): the unindexed-dispatch
+      baseline used by the bench harness and the differential property
+      tests. Rewriting behaviour is identical by the {!roots}/{!type-prefix}
+      contracts; only match-attempt counts differ. *)
   val relax : t -> t
+
+  (** [strip_prefixes t] keeps root indexing but drops every prefix —
+      exactly the dispatch PR 4 shipped. The bench harness uses it to
+      attribute attempt reductions to the prefix trees separately from
+      root indexing. *)
+  val strip_prefixes : t -> t
 
   (** Number of patterns in the set. *)
   val size : t -> int

@@ -44,7 +44,68 @@ let static_shape = function
 let num_elements t =
   Option.map (List.fold_left ( * ) 1) (static_shape t)
 
-let equal (a : t) (b : t) = a = b
+let dim_equal (a : dim) (b : dim) =
+  match (a, b) with
+  | Static x, Static y -> Int.equal x y
+  | Dynamic, Dynamic -> true
+  | _ -> false
+
+let rec list_equal eq a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> eq x y && list_equal eq xs ys
+  | _ -> false
+
+(* Monomorphic structural walk with a physical fast path at every node:
+   interned types (the common case — see [intern]) compare in O(1). *)
+let rec structural_equal (a : t) (b : t) =
+  a == b
+  ||
+  match (a, b) with
+  | F32, F32 | F64, F64 | I1, I1 | I32, I32 | I64, I64 | Index, Index ->
+      true
+  | Mem_ref (sa, ea), Mem_ref (sb, eb) ->
+      list_equal dim_equal sa sb && structural_equal ea eb
+  | Fun (aa, ra), Fun (ab, rb) ->
+      list_equal structural_equal aa ab && list_equal structural_equal ra rb
+  | _ -> false
+
+let equal = structural_equal
+
+module Interner = Support.Intern.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash = Hashtbl.hash
+end)
+
+(* [List.map f l] that returns [l] itself when [f] fixes every element, so
+   interning an already-canonical node allocates nothing. *)
+let rec map_preserving f l =
+  match l with
+  | [] -> l
+  | x :: tl ->
+      let x' = f x and tl' = map_preserving f tl in
+      if x' == x && tl' == tl then l else x' :: tl'
+
+(* Bottom-up, so a canonical node only ever points at canonical children
+   (the invariant docs/PERF.md relies on). Scalar constructors are OCaml
+   immediates — physical equality already holds — so only the allocated
+   shapes go through the table. *)
+let rec intern t =
+  match t with
+  | F32 | F64 | I1 | I32 | I64 | Index -> t
+  | Mem_ref (shape, elem) ->
+      let elem' = intern elem in
+      Interner.intern (if elem' == elem then t else Mem_ref (shape, elem'))
+  | Fun (args, results) ->
+      let args' = map_preserving intern args
+      and results' = map_preserving intern results in
+      Interner.intern
+        (if args' == args && results' == results then t
+         else Fun (args', results'))
+
+let interner_stats = Interner.stats
 
 let rec pp fmt = function
   | F32 -> Format.fprintf fmt "f32"

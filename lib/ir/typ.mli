@@ -34,6 +34,20 @@ val static_shape : t -> int list option
 (** Number of elements of a fully static memref. *)
 val num_elements : t -> int option
 
+(** Structural equality with a physical ([==]) fast path at every node;
+    monomorphic throughout (no polymorphic compare). Interned types (see
+    {!intern}) compare in O(1). *)
 val equal : t -> t -> bool
+
+(** [intern t] hash-conses [t] into its canonical node (scalars are OCaml
+    immediates and pass through untouched). [Core.create_op] and
+    [Core.create_block] intern every type they are handed, so all IR built
+    through the builders or the parser carries canonical types. Domain-safe
+    (see {!Support.Intern}). *)
+val intern : t -> t
+
+(** Interning-table counters for diagnostics and [bench -- scale]. *)
+val interner_stats : unit -> Support.Intern.stats
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

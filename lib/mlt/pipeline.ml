@@ -78,7 +78,12 @@ let passes_of_config config =
 let cache_version = "mlt-pipeline-v1"
 
 let cache_identity config =
-  Printf.sprintf "%s:%s[%s]" cache_version (config_name config)
+  (* The interner version participates too: hash-consing canonicalizes the
+     in-memory representation (and a future revision could change printed
+     canonical forms), so cached artifacts must never alias across
+     interning disciplines (ISSUE 8 / docs/PERF.md). *)
+  Printf.sprintf "%s+%s:%s[%s]" cache_version Support.Intern.version
+    (config_name config)
     (String.concat ";"
        (List.map (fun (p : Pass.t) -> p.Pass.name) (passes_of_config config)))
 

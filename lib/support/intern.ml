@@ -1,0 +1,118 @@
+let version = "intern-v1"
+
+type stats = { size : int; hits : int; misses : int; generation : int }
+
+module type KEY = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type key
+
+  val intern : key -> key
+  val mem : key -> bool
+  val stats : unit -> stats
+  val clear : unit -> unit
+end
+
+module Make (K : KEY) = struct
+  type key = K.t
+  type slot = { s_hash : int; s_key : key }
+
+  (* [t_buckets] has power-of-two length; each bucket is an immutable
+     list whose cells never change once published. Inserts mutate a
+     bucket element in place under [lock] (prepend); [Atomic.set]
+     publishes a whole new array only on resize or [clear]. A reader
+     racing with an insert may miss the new slot — it then falls through
+     to the locked re-probe, which cannot miss — and a reader holding a
+     just-retired array simply probes a stale (still correct, merely
+     smaller) snapshot. What a racy read can never observe is a torn or
+     half-initialized slot: slots are immutable records fully built
+     before the bucket store. [t_count] is only read/written under
+     [lock]. *)
+  type table = { t_buckets : slot list array; mutable t_count : int }
+
+  let initial_buckets = 64
+  let max_load = 3 (* average bucket length that triggers doubling *)
+  let empty n = { t_buckets = Array.make n []; t_count = 0 }
+  let table = Atomic.make (empty initial_buckets)
+  let lock = Mutex.create ()
+  let generation = Atomic.make 0
+
+  (* Hit counting is deliberately unsynchronized (a racy [int ref]): an
+     atomic on the hot path would serialize every domain's lookups just to
+     keep a diagnostic exact. Reads of an immediate can't tear; under
+     parallelism the count can only undercount. *)
+  let hit_count = ref 0
+  let miss_count = ref 0 (* exact: only written under [lock] *)
+
+  let with_lock f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let bucket_of t h = h land (Array.length t.t_buckets - 1)
+
+  let rec probe h k = function
+    | [] -> None
+    | s :: tl ->
+        if s.s_hash = h && (s.s_key == k || K.equal s.s_key k) then
+          Some s.s_key
+        else probe h k tl
+
+  let resize t =
+    let n = Array.length t.t_buckets * 2 in
+    let buckets = Array.make n [] in
+    let t' = { t_buckets = buckets; t_count = t.t_count } in
+    Array.iter
+      (List.iter (fun s ->
+           let i = bucket_of t' s.s_hash in
+           buckets.(i) <- s :: buckets.(i)))
+      t.t_buckets;
+    t'
+
+  let intern k =
+    let h = K.hash k land max_int in
+    let t = Atomic.get table in
+    match probe h k t.t_buckets.(bucket_of t h) with
+    | Some canonical ->
+        incr hit_count;
+        canonical
+    | None ->
+        with_lock (fun () ->
+            (* Re-probe: another domain may have inserted [k] between our
+               lock-free miss and acquiring the lock. *)
+            let t = Atomic.get table in
+            match probe h k t.t_buckets.(bucket_of t h) with
+            | Some canonical -> canonical
+            | None ->
+                let i = bucket_of t h in
+                t.t_buckets.(i) <- { s_hash = h; s_key = k } :: t.t_buckets.(i);
+                t.t_count <- t.t_count + 1;
+                incr miss_count;
+                if t.t_count > max_load * Array.length t.t_buckets then
+                  Atomic.set table (resize t);
+                k)
+
+  let mem k =
+    let h = K.hash k land max_int in
+    let t = Atomic.get table in
+    Option.is_some (probe h k t.t_buckets.(bucket_of t h))
+
+  let stats () =
+    let t = Atomic.get table in
+    {
+      size = t.t_count;
+      hits = !hit_count;
+      misses = !miss_count;
+      generation = Atomic.get generation;
+    }
+
+  let clear () =
+    with_lock (fun () ->
+        Atomic.set table (empty initial_buckets);
+        miss_count := 0;
+        Atomic.incr generation)
+end

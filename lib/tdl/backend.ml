@@ -300,8 +300,19 @@ let compile ?(target = To_linalg) (t : Tds.tactic) =
     List.sort_uniq String.compare
       ("memref.alloc" :: List.map generated_of_builder t.builders)
   in
-  Rewriter.pattern ~name:t.name ~roots:(Rewriter.Roots t.roots) ~generated_ops
-    apply
+  (* The apply function's first gate is [matched_nest ~depth], which
+     requires the perfect nest rooted at [op] to have exactly [depth]
+     loops ([Loops.perfect_nest] treats "affine.yield" as the only
+     invisible op) — declare exactly that, so the compiled dispatch tree
+     probes the nest spine once per root op and skips every tactic whose
+     depth cannot match. Wrong-depth nests produce no near-miss remarks
+     (see the comment above [apply]), so pruning them is observationally
+     identical. *)
+  let prefix =
+    Rewriter.prefix ~nest_depth:depth ~nest_ignore:[ "affine.yield" ] ()
+  in
+  Rewriter.pattern ~name:t.name ~roots:(Rewriter.Roots t.roots) ~prefix
+    ~generated_ops apply
 
 let compile_tdl ?target src =
   List.map (compile ?target) (Frontend.lower_source src)

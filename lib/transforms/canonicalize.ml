@@ -52,6 +52,10 @@ let patterns ?(fast_math = false) () =
     Rewriter.pattern ~name:"fold-float-identities"
       ~roots:
         (Rewriter.Roots [ "arith.mulf"; "arith.addf"; "arith.subf"; "arith.divf" ])
+        (* All four roots are binary, region-less ops; anything else
+           (malformed IR aside, which [x ()]/[y ()] would reject anyway)
+           is pruned before the apply function runs. *)
+      ~prefix:(Rewriter.prefix ~operands:2 ~regions:0 ())
       (fold_identities ~fast_math);
   ]
 

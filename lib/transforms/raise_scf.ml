@@ -115,6 +115,9 @@ let patterns () =
   [
     Rewriter.pattern ~name:"raise-scf-for"
       ~roots:(Rewriter.Roots [ "scf.for" ])
+        (* The scf.for verifier pins the shape: (lb, ub, step) + one body
+           region. *)
+      ~prefix:(Rewriter.prefix ~operands:3 ~regions:1 ())
       ~generated_ops:[ "affine.for" ]
       (fun ctx op ->
         if Std_dialect.Scf.is_for op then raise_for ctx op else false);

@@ -15,6 +15,14 @@ dune exec bench/main.exe -- interp --quick
 # polybench raising pipeline drops below 5x. (No --trace here: a sink being
 # installed would skip the disabled-trace overhead assertion.)
 dune exec bench/main.exe -- patterns --quick
+# Smoke-run the large-module scale gate on its 60k-op --quick setting:
+# fails if compiled dispatch ever changes rewriting results on the
+# synthesized module or if the deterministic match-attempt reduction
+# drops below 5x. The 5x steady-state *wall-clock* gate is recorded in
+# BENCH_scale.json on every run but asserted only under
+# MLT_BENCH_ASSERT_SPEEDUP=1 (shared CI hosts — see docs/PERF.md).
+dune exec bench/main.exe -- scale --quick
+dune exec tools/json_check/json_check.exe -- BENCH_scale.json
 # Smoke the observability surface: --trace must produce a loadable Chrome
 # trace (non-empty traceEvents) and --pass-stats a well-formed JSON report
 # (schemas in docs/OBSERVABILITY.md).

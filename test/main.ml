@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mlt"
     [
       ("support", Test_support.suite);
+      ("intern", Test_intern.suite);
       ("affine-expr", Test_affine_expr.suite);
       ("ir-core", Test_ir_core.suite);
       ("ir-parser", Test_parser.suite);
