@@ -757,6 +757,90 @@ let scale () =
       "(speedup target 5x reported, not asserted — set \
        MLT_BENCH_ASSERT_SPEEDUP=1 to enforce)\n"
 
+(* ---------------- Schedule autotuner ------------------------------------- *)
+
+(* The machine-model autotuner end-to-end: search the gemm schedule
+   space (Pluto tilings/fusions/interchange + BLIS blockings) as
+   transform scripts on a domain pool, and require the winner to be at
+   least as fast on the model as Pluto_default — the floor the paper's
+   tuned schedules always clear. Writes BENCH_tune.json ("results" holds
+   every candidate). *)
+let tune_section () =
+  sep "Schedule autotuner: transform-script search on the machine model";
+  P.register_dialects ();
+  let machine = MM.amd_2920x in
+  let n = if !quick then 64 else 128 in
+  let src = W.mm ~ni:n ~nj:n ~nk:n () in
+  let flops = 2. *. float_of_int (n * n * n) in
+  let translate () = Met.Emit_affine.translate src in
+  let trips =
+    Tune.max_trip_count (Option.get (Core.find_func (translate ()) "mm"))
+  in
+  let space = Tune.gemm_space ~quick:!quick ~max_trip:trips () in
+  let cores = Domain.recommended_domain_count () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Tune.search ~domains:cores ~machine ~translate space in
+  let wall = Unix.gettimeofday () -. t0 in
+  let st = outcome.Tune.o_stats in
+  let default_report = P.time P.Pluto_default machine src in
+  let default_seconds = default_report.Machine.Perf.seconds in
+  Printf.printf
+    "gemm %dx%dx%d on %s: %d candidates (%d evaluated) on %d domains in \
+     %.3fs\n"
+    n n n machine.MM.name st.Tune.t_candidates st.Tune.t_evaluated cores wall;
+  Printf.printf "pluto-default:   %.6f s (%6.2f GFLOPS)\n" default_seconds
+    (flops /. default_seconds /. 1e9);
+  Printf.printf "best (%s): %.6f s (%6.2f GFLOPS)\n"
+    outcome.Tune.o_best.Tune.c_name st.Tune.t_best_seconds
+    (flops /. st.Tune.t_best_seconds /. 1e9);
+  let module J = Support.Json in
+  let results =
+    List.map
+      (fun (ev : Tune.evaluation) ->
+        J.Obj
+          [
+            ("name", J.Str ev.Tune.ev_candidate.Tune.c_name);
+            ( "seconds",
+              match ev.Tune.ev_seconds with
+              | Some s -> J.Num s
+              | None -> J.Null );
+            ( "error",
+              match ev.Tune.ev_error with
+              | Some e -> J.Str e
+              | None -> J.Null );
+          ])
+      outcome.Tune.o_evaluations
+  in
+  let best_script =
+    Transform.Script.print
+      (Transform.Script.of_steps outcome.Tune.o_best.Tune.c_steps)
+  in
+  Support.Atomic_io.write_file ~path:"BENCH_tune.json"
+    (J.to_string
+       (J.Obj
+          [
+            ("quick", J.Bool !quick);
+            ("n", J.num_int n);
+            ("machine", J.Str machine.MM.name);
+            ("domains", J.num_int cores);
+            ("wall_seconds", J.Num wall);
+            ("candidates", J.num_int st.Tune.t_candidates);
+            ("evaluated", J.num_int st.Tune.t_evaluated);
+            ("pluto_default_seconds", J.Num default_seconds);
+            ("best_name", J.Str outcome.Tune.o_best.Tune.c_name);
+            ("best_seconds", J.Num st.Tune.t_best_seconds);
+            ("best_script", J.Str best_script);
+            ("results", J.List results);
+          ])
+    ^ "\n");
+  Printf.printf "wrote BENCH_tune.json\n";
+  (* The model is deterministic, so this floor holds on any host: the
+     searched space contains Pluto_default itself. *)
+  if st.Tune.t_best_seconds > default_seconds +. 1e-12 then
+    Support.Diag.errorf
+      "bench tune: best schedule %.6fs slower than pluto-default %.6fs"
+      st.Tune.t_best_seconds default_seconds
+
 (* ---------------- Sharded batch compilation ------------------------------ *)
 
 (* The mlt-batch architecture end-to-end: the polybench manifest compiled
@@ -780,7 +864,7 @@ let batch () =
                {
                  Batch.Manifest.e_name = Printf.sprintf "%s#%d" name rep;
                  e_source = Batch.Manifest.Inline src;
-                 e_config = configs.((i + rep) mod Array.length configs);
+                 e_schedule = Mlt.Pipeline.Config configs.((i + rep) mod Array.length configs);
                })
              (W.figure9_suite ())))
   in
@@ -835,7 +919,7 @@ let batch () =
       {
         Batch.Manifest.e_name = "crash-parse";
         e_source = Batch.Manifest.Inline "void broken(float A[8][8]) {";
-        e_config = P.Mlt_linalg;
+        e_schedule = Mlt.Pipeline.Config P.Mlt_linalg;
       };
       {
         Batch.Manifest.e_name = "crash-two-kernels";
@@ -843,7 +927,7 @@ let batch () =
           Batch.Manifest.Inline
             "void f(float A[4]) { for (int i = 0; i < 4; ++i) A[i] = 0.0; }\n\
              void g(float A[4]) { for (int i = 0; i < 4; ++i) A[i] = 1.0; }";
-        e_config = P.Mlt_linalg;
+        e_schedule = Mlt.Pipeline.Config P.Mlt_linalg;
       };
     ]
   in
@@ -1138,7 +1222,7 @@ let () =
     if args = [] || args = [ "all" ] then
       [
         "fig8"; "sec51"; "fig9"; "table2"; "overhead"; "ablation"; "interp";
-        "patterns"; "scale"; "micro"; "batch";
+        "patterns"; "scale"; "micro"; "tune"; "batch";
       ]
     else args
   in
@@ -1155,6 +1239,7 @@ let () =
         | "patterns" -> patterns_section ()
         | "scale" -> scale ()
         | "micro" -> micro ()
+        | "tune" -> tune_section ()
         | "batch" -> batch ()
         | other -> Printf.eprintf "unknown section %S\n" other)
       sections

@@ -1,12 +1,86 @@
-(* Flag definitions shared by mlt-opt and mlt-sim, so the two drivers
-   spell their common surface identically (--interp, --verify-exec,
-   --timing, --pass-stats). *)
+(* Flag definitions shared by mlt-opt, mlt-sim and mlt-batch, so the
+   drivers spell their common surface identically (--config /
+   --transform-script, --interp, --verify-exec, --timing,
+   --pass-stats). *)
 
 open Cmdliner
 
 let read_file = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
+
+(* ---- schedule selection --------------------------------------------------
+
+   One resolution path for all three binaries: a named pipeline
+   configuration (--config, with --pipeline as mlt-batch's historical
+   spelling) or a transform script as IR text (--transform-script),
+   never both. *)
+
+let config_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config"; "pipeline" ] ~docv:"NAME"
+        ~doc:
+          "Named pipeline configuration: clang-O3, pluto-default, \
+           pluto-best, mlt-linalg, mlt-blas or mlt-affine-blis.")
+
+let transform_script_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "transform-script" ] ~docv:"FILE"
+        ~doc:
+          "Transform script to run instead of a named configuration: a \
+           builtin.module of transform-dialect ops, as printed by \
+           mlt-opt or written by hand (grammar in docs/TRANSFORM.md); \
+           '-' for stdin.")
+
+(* [resolve_schedule ~config ~script] — [None] when neither flag was
+   given, so each driver picks its own default. Raises
+   [Support.Diag.Error] on conflicts, unknown names and script errors;
+   call it inside the driver's top-level handler. *)
+let resolve_schedule ~config ~script =
+  match (config, script) with
+  | None, None -> None
+  | Some _, Some _ ->
+      Support.Diag.errorf
+        "give either --config or --transform-script, not both"
+  | Some name, None -> (
+      match Mlt.Pipeline.config_of_name name with
+      | Some c -> Some (Mlt.Pipeline.Config c)
+      | None ->
+          Support.Diag.errorf "unknown config %S (one of: %s)" name
+            (String.concat ", "
+               (List.map Mlt.Pipeline.config_name Mlt.Pipeline.all_configs)))
+  | None, Some path ->
+      Some
+        (Mlt.Pipeline.schedule_of_script_text
+           ~name:("script:" ^ Filename.basename path)
+           ~file:path (read_file path))
+
+(* The per-pass JSON report with the tuner's search summary appended as
+   a "tune" member when a search ran (docs/OBSERVABILITY.md). *)
+let pass_stats_json ?tune pm =
+  let base = Ir.Pass.report_json pm in
+  match tune with
+  | None -> base
+  | Some (st : Tune.stats) -> (
+      match Support.Json.parse base with
+      | Ok (Support.Json.Obj fields) ->
+          Support.Json.to_string
+            (Support.Json.Obj
+               (fields
+               @ [
+                   ( "tune",
+                     Support.Json.Obj
+                       [
+                         ("candidates", Support.Json.num_int st.Tune.t_candidates);
+                         ("evaluated", Support.Json.num_int st.Tune.t_evaluated);
+                         ("best_seconds", Support.Json.Num st.Tune.t_best_seconds);
+                       ] );
+                 ]))
+      | _ -> base)
 
 let interp_engine =
   Arg.(
@@ -20,44 +94,16 @@ let interp_engine =
            'compiled' (staged closures, default) or 'walk' (the \
            tree-walking oracle). See docs/INTERP.md.")
 
-(* The canonical differential-execution flag. [deprecated] lists stale
-   spellings kept as aliases; using one still works but warns on stderr. *)
-let verify_exec ?(deprecated = []) () =
-  let canonical =
-    Arg.(
-      value & flag
-      & info [ "verify-exec" ]
-          ~doc:
-            "Differential execution check: interpret every function before \
-             and after the pipeline on identical random inputs and fail if \
-             any output buffer differs.")
-  in
-  match deprecated with
-  | [] -> canonical
-  | aliases ->
-      let alias_flags =
-        List.map
-          (fun name ->
-            Arg.(
-              value & flag
-              & info [ name ]
-                  ~doc:(Printf.sprintf "Deprecated alias of --verify-exec.")))
-          aliases
-      in
-      List.fold_left2
-        (fun acc flag_name alias ->
-          let merge acc_v used =
-            (* Routed through the remark layer (satellite of the
-               observability PR): with no sink installed this still prints
-               to stderr, but a [--remarks] run or a test sink sees it as
-               a structured [Warning]. *)
-            if used then
-              Ir.Remark.warningf ~context:"cli"
-                "--%s is deprecated; use --verify-exec" flag_name;
-            acc_v || used
-          in
-          Term.(const merge $ acc $ alias))
-        canonical aliases alias_flags
+(* The canonical differential-execution flag. The long-deprecated
+   [--verify] alias is gone: --verify-exec is the one spelling. *)
+let verify_exec () =
+  Arg.(
+    value & flag
+    & info [ "verify-exec" ]
+        ~doc:
+          "Differential execution check: interpret every function before \
+           and after the pipeline on identical random inputs and fail if \
+           any output buffer differs.")
 
 let timing =
   Arg.(

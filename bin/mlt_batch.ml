@@ -8,28 +8,24 @@
      mlt-batch manifest.json --domains 4 --output out/
      mlt-batch manifest.json --seq --report report.json
      mlt-batch manifest.json --pipeline mlt-blas --remarks
+     mlt-batch manifest.json --transform-script schedule.mlir
      mlt-batch manifest.json --cache-dir cache/            # warm the cache
      mlt-batch manifest.json --cache-dir cache/ --resume   # after a kill *)
 
 open Cmdliner
 
-let run manifest_path domains seq pipeline capture_remarks output report
-    cache_dir resume quiet =
+let run manifest_path domains seq pipeline script capture_remarks output
+    report cache_dir resume quiet =
   try
     let manifest = Batch.Manifest.load manifest_path in
     let manifest =
-      match pipeline with
+      match Cli_common.resolve_schedule ~config:pipeline ~script with
       | None -> manifest
-      | Some name -> (
-          match Batch.Manifest.config_of_name name with
-          | None ->
-              Support.Diag.errorf "unknown pipeline %S (try mlt-linalg)"
-                name
-          | Some config ->
-              Batch.Manifest.of_entries
-                (List.map
-                   (fun e -> { e with Batch.Manifest.e_config = config })
-                   (Batch.Manifest.entries manifest)))
+      | Some schedule ->
+          Batch.Manifest.of_entries
+            (List.map
+               (fun e -> { e with Batch.Manifest.e_schedule = schedule })
+               (Batch.Manifest.entries manifest))
     in
     let domains =
       if seq then 1
@@ -123,14 +119,8 @@ let seq_arg =
           "Sequential oracle mode: compile every entry on the calling \
            domain (equivalent to --domains 1; no domain is spawned).")
 
-let pipeline_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "pipeline" ] ~docv:"NAME"
-        ~doc:
-          "Override every entry's pipeline configuration (mlt-linalg, \
-           mlt-blas, mlt-affine-blis, pluto-default, clang-O3).")
+(* The shared --config/--pipeline spelling plus --transform-script:
+   either overrides every entry's schedule. *)
 
 let remarks_arg =
   Arg.(
@@ -190,7 +180,8 @@ let quiet_arg =
 let cmd =
   let term =
     Term.(
-      const run $ manifest_arg $ domains_arg $ seq_arg $ pipeline_arg
+      const run $ manifest_arg $ domains_arg $ seq_arg
+      $ Cli_common.config_name_arg $ Cli_common.transform_script_arg
       $ remarks_arg $ output_arg $ report_arg $ cache_dir_arg $ resume_arg
       $ quiet_arg)
   in

@@ -9,6 +9,8 @@
      mlt-opt chain.c --raise-affine-to-linalg --reorder-chains \
              --convert-linalg-to-blas
      mlt-opt kernel.mlir --tile 32 --lower-affine
+     mlt-opt gemm.c --config mlt-blas
+     mlt-opt gemm.c --transform-script schedule.mlir
      mlt-opt gemm.c --tactics my_tactics.tdl --dump-tds *)
 
 open Cmdliner
@@ -31,7 +33,8 @@ let list_ops () =
       | None -> ())
     (Ir.Dialect.registered_ops ())
 
-let run input list_ops_flag force_c tactics_file dump_tds delinearize
+let run input list_ops_flag force_c config script tactics_file dump_tds
+    delinearize
     raise_scf canonicalize fast_math raise_affine raise_linalg reorder_chains
     to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
@@ -72,6 +75,12 @@ let run input list_ops_flag force_c tactics_file dump_tds delinearize
       else Ir.Pass.No_snapshots
     in
     let pm = Ir.Pass.create_manager ~verify_each ~snapshot () in
+    (* A named config or transform script runs first, in script order;
+       the flag-driven passes below append to it. *)
+    (match Cli_common.resolve_schedule ~config ~script with
+    | Some schedule ->
+        Ir.Pass.add_all pm (Mlt.Pipeline.passes_of_schedule schedule)
+    | None -> ());
     let padd cond pass = if cond then Ir.Pass.add pm pass in
     padd raise_scf T.Raise_scf.pass;
     padd delinearize T.Delinearize.pass;
@@ -145,6 +154,8 @@ let cmd =
     $ flag [ "list-ops" ]
         "Print every registered operation with its summary and exit."
     $ flag [ "c" ] "Force parsing the input as mini-C."
+    $ Cli_common.config_name_arg
+    $ Cli_common.transform_script_arg
     $ Arg.(value & opt (some string) None
            & info [ "tactics" ] ~docv:"FILE.tdl"
                ~doc:"Load user-defined TDL tactics for raising (replaces \

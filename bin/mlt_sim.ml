@@ -1,19 +1,12 @@
 (* mlt-sim: run a mini-C kernel through one of the evaluation pipelines
-   and report simulated performance on a machine model.
+   (or a user-supplied transform script) and report simulated
+   performance on a machine model; --tune searches the schedule space.
 
-     mlt-sim gemm.c --config mlt-blas --machine amd-2920x --flops 4194304 *)
+     mlt-sim gemm.c --config mlt-blas --machine amd-2920x --flops 4194304
+     mlt-sim gemm.c --transform-script schedule.mlir
+     mlt-sim gemm.c --tune *)
 
 open Cmdliner
-
-let configs =
-  [
-    ("clang-O3", Mlt.Pipeline.Clang_O3);
-    ("pluto-default", Mlt.Pipeline.Pluto_default);
-    ("pluto-best", Mlt.Pipeline.Pluto_best);
-    ("mlt-linalg", Mlt.Pipeline.Mlt_linalg);
-    ("mlt-blas", Mlt.Pipeline.Mlt_blas);
-    ("mlt-affine-blis", Mlt.Pipeline.Mlt_affine_blis);
-  ]
 
 let machines =
   List.map
@@ -29,57 +22,106 @@ let sole_func m =
       Support.Diag.errorf "mlt-sim: expected one kernel, found %d"
         (List.length fs)
 
-let run input config machine flops engine execute verify timing pass_stats
-    trace remarks =
+(* Search the gemm schedule space (Pluto tilings/fusions/interchange +
+   BLIS blockings) on the machine model and report the winner — and its
+   schedule as a reusable transform script. *)
+let run_tune ~machine ~quick ~pass_stats src =
+  Mlt.Pipeline.register_dialects ();
+  let translate () = Met.Emit_affine.translate src in
+  let trips = Tune.max_trip_count (sole_func (translate ())) in
+  let outcome =
+    Tune.search
+      ~domains:(Domain.recommended_domain_count ())
+      ~machine ~translate
+      (Tune.gemm_space ~quick ~max_trip:trips ())
+  in
+  let st = outcome.Tune.o_stats in
+  Printf.printf "machine:          %s\n" machine.Machine.Machine_model.name;
+  Printf.printf "candidates:       %d (%d evaluated)\n" st.Tune.t_candidates
+    st.Tune.t_evaluated;
+  Printf.printf "best schedule:    %s\n" outcome.Tune.o_best.Tune.c_name;
+  Printf.printf "simulated time:   %.6f s\n" st.Tune.t_best_seconds;
+  List.iter
+    (fun (ev : Tune.evaluation) ->
+      match ev.Tune.ev_seconds with
+      | Some s ->
+          Printf.printf "  %-28s %.6f s\n" ev.Tune.ev_candidate.Tune.c_name s
+      | None ->
+          Printf.printf "  %-28s inapplicable\n"
+            ev.Tune.ev_candidate.Tune.c_name)
+    outcome.Tune.o_evaluations;
+  print_string "\nwinning transform script:\n";
+  print_string
+    (Transform.Script.print
+       (Transform.Script.of_steps outcome.Tune.o_best.Tune.c_steps));
+  if pass_stats then
+    print_endline
+      (Cli_common.pass_stats_json ~tune:st (Ir.Pass.create_manager ()))
+
+let run input config script tune quick machine flops engine execute verify
+    timing pass_stats trace remarks =
   try
     Cli_common.with_observability ~trace ~remarks @@ fun () ->
     Interp.Eval.default_engine := engine;
-    let src =
-      match input with
-      | "-" -> In_channel.input_all In_channel.stdin
-      | path -> In_channel.with_open_text path In_channel.input_all
-    in
-    let pm =
-      if timing || pass_stats then Some (Ir.Pass.create_manager ()) else None
-    in
-    if verify then
-      if Mlt.Pipeline.check_semantics ~engine config src then
-        Printf.printf "verify:           %s preserves semantics (engine: %s)\n"
-          (Mlt.Pipeline.config_name config)
+    let src = Cli_common.read_file input in
+    if tune then begin
+      run_tune ~machine ~quick ~pass_stats src;
+      Ok ()
+    end
+    else begin
+      let schedule =
+        match Cli_common.resolve_schedule ~config ~script with
+        | Some s -> s
+        | None -> Mlt.Pipeline.Config Mlt.Pipeline.Clang_O3
+      in
+      let name = Mlt.Pipeline.schedule_name schedule in
+      let pm =
+        if timing || pass_stats then Some (Ir.Pass.create_manager ()) else None
+      in
+      if verify then
+        if Mlt.Pipeline.check_schedule_semantics ~engine schedule src then
+          Printf.printf
+            "verify:           %s preserves semantics (engine: %s)\n" name
+            (Interp.Rt.engine_name engine)
+        else
+          Support.Diag.errorf "mlt-sim: %s pipeline changed kernel semantics"
+            name;
+      if execute then begin
+        let m = Mlt.Pipeline.prepare_schedule schedule src in
+        let fname = Ir.Core.func_name (sole_func m) in
+        let t0 = Unix.gettimeofday () in
+        ignore (Interp.Eval.run_on_random ~engine m fname ~seed:0);
+        let t1 = Unix.gettimeofday () in
+        Printf.printf "executed:         %s in %.6f s (engine: %s)\n" fname
+          (t1 -. t0)
           (Interp.Rt.engine_name engine)
-      else
-        Support.Diag.errorf "mlt-sim: %s pipeline changed kernel semantics"
-          (Mlt.Pipeline.config_name config);
-    if execute then begin
-      let m = Mlt.Pipeline.prepare config src in
-      let name = Ir.Core.func_name (sole_func m) in
-      let t0 = Unix.gettimeofday () in
-      ignore (Interp.Eval.run_on_random ~engine m name ~seed:0);
-      let t1 = Unix.gettimeofday () in
-      Printf.printf "executed:         %s in %.6f s (engine: %s)\n" name
-        (t1 -. t0)
-        (Interp.Rt.engine_name engine)
-    end;
-    let report = Mlt.Pipeline.time ?pm config machine src in
-    Printf.printf "machine:          %s\n" machine.Machine.Machine_model.name;
-    Printf.printf "config:           %s\n" (Mlt.Pipeline.config_name config);
-    Printf.printf "simulated time:   %.6f s\n" report.Machine.Perf.seconds;
-    Printf.printf "  loop code:      %.6f s\n" report.Machine.Perf.loop_seconds;
-    Printf.printf "  library calls:  %.6f s\n"
-      report.Machine.Perf.library_seconds;
-    (match flops with
-    | Some f ->
-        Printf.printf "GFLOPS:           %.2f\n"
-          (Machine.Perf.gflops ~flops:f report)
-    | None -> ());
-    (match pm with
-    | Some pm ->
-        if timing then (
-          Printf.printf "\ncompilation pipeline (wall-clock):\n";
-          print_string (Ir.Pass.report_table pm));
-        if pass_stats then print_endline (Ir.Pass.report_json pm)
-    | None -> ());
-    Ok ()
+      end;
+      let report, tune_stats =
+        Mlt.Pipeline.time_schedule_ext ?pm schedule machine src
+      in
+      Printf.printf "machine:          %s\n"
+        machine.Machine.Machine_model.name;
+      Printf.printf "config:           %s\n" name;
+      Printf.printf "simulated time:   %.6f s\n" report.Machine.Perf.seconds;
+      Printf.printf "  loop code:      %.6f s\n"
+        report.Machine.Perf.loop_seconds;
+      Printf.printf "  library calls:  %.6f s\n"
+        report.Machine.Perf.library_seconds;
+      (match flops with
+      | Some f ->
+          Printf.printf "GFLOPS:           %.2f\n"
+            (Machine.Perf.gflops ~flops:f report)
+      | None -> ());
+      (match pm with
+      | Some pm ->
+          if timing then (
+            Printf.printf "\ncompilation pipeline (wall-clock):\n";
+            print_string (Ir.Pass.report_table pm));
+          if pass_stats then
+            print_endline (Cli_common.pass_stats_json ?tune:tune_stats pm)
+      | None -> ());
+      Ok ()
+    end
   with
   | Support.Diag.Error (loc, msg) -> Error (Support.Diag.to_string loc msg)
   | Sys_error e -> Error e
@@ -90,11 +132,17 @@ let cmd =
       const run
       $ Arg.(required & pos 0 (some string) None
              & info [] ~docv:"FILE.c" ~doc:"Mini-C kernel; '-' for stdin.")
-      $ Arg.(value
-             & opt (enum configs) Mlt.Pipeline.Clang_O3
-             & info [ "config" ] ~docv:"CONFIG"
-                 ~doc:"One of: clang-O3, pluto-default, pluto-best, \
-                       mlt-linalg, mlt-blas, mlt-affine-blis.")
+      $ Cli_common.config_name_arg
+      $ Cli_common.transform_script_arg
+      $ Arg.(value & flag
+             & info [ "tune" ]
+                 ~doc:"Autotune: search the schedule space (Pluto \
+                       tilings/fusions/interchange + BLIS blockings) on \
+                       the machine model and print the winning transform \
+                       script.")
+      $ Arg.(value & flag
+             & info [ "quick" ]
+                 ~doc:"With --tune: search the trimmed smoke-test space.")
       $ Arg.(value
              & opt (enum machines) Machine.Machine_model.amd_2920x
              & info [ "machine" ] ~docv:"MACHINE"
@@ -107,7 +155,7 @@ let cmd =
              & info [ "execute" ]
                  ~doc:"Actually interpret the prepared kernel on random \
                        inputs (wall-clock), in addition to the simulation.")
-      $ Cli_common.verify_exec ~deprecated:[ "verify" ] ()
+      $ Cli_common.verify_exec ()
       $ Cli_common.timing
       $ Cli_common.pass_stats
       $ Cli_common.trace

@@ -117,7 +117,7 @@ let result_of_payload ~entry ~shard ~seconds json =
   then raise Bad_payload;
   {
     r_name = entry.Manifest.e_name;
-    r_config = Mlt.Pipeline.config_name entry.Manifest.e_config;
+    r_config = Mlt.Pipeline.schedule_name entry.Manifest.e_schedule;
     r_shard = shard;
     r_status = Done;
     r_cached = true;
@@ -138,7 +138,7 @@ let entry_key ~capture_remarks (e : Manifest.entry) src =
     [
       "batch-entry";
       (if Manifest.is_ir e then "ir" else "c");
-      Mlt.Pipeline.cache_identity e.Manifest.e_config;
+      Mlt.Pipeline.schedule_cache_identity e.Manifest.e_schedule;
       (if capture_remarks then "remarks" else "no-remarks");
       src;
     ]
@@ -165,7 +165,7 @@ let compile_entry ~capture_remarks ~shard ?cache (e : Manifest.entry) =
     let attempts1, rewrites1 = Ir.Rewriter.counter_totals () in
     {
       r_name = e.Manifest.e_name;
-      r_config = Mlt.Pipeline.config_name e.Manifest.e_config;
+      r_config = Mlt.Pipeline.schedule_name e.Manifest.e_schedule;
       r_shard = shard;
       r_status = status;
       r_cached = false;
@@ -212,7 +212,7 @@ let compile_entry ~capture_remarks ~shard ?cache (e : Manifest.entry) =
               else Met.Emit_affine.translate ?file src
             in
             let pm = Ir.Pass.create_manager () in
-            let m = Mlt.Pipeline.prepare_module ~pm e.Manifest.e_config m in
+            let m = Mlt.Pipeline.prepare_schedule_module ~pm e.Manifest.e_schedule m in
             (src, Ir.Printer.op_to_string m ^ "\n", Ir.Pass.summarize pm))
       with
       | src, ir, summary ->

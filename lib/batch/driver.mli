@@ -17,7 +17,7 @@ type status = Done | Failed of string
 
 type entry_result = {
   r_name : string;
-  r_config : string;  (** pipeline config name *)
+  r_config : string;  (** schedule name (pipeline config or script) *)
   r_shard : int;  (** which shard (= domain index) compiled/served it *)
   r_status : status;
   r_cached : bool;  (** served from the compilation cache *)

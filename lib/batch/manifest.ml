@@ -3,25 +3,12 @@ type source = File of string | Inline of string
 type entry = {
   e_name : string;
   e_source : source;
-  e_config : Mlt.Pipeline.config;
+  e_schedule : Mlt.Pipeline.schedule;
 }
 
 type t = { m_entries : entry list }
 
-let configs =
-  [
-    Mlt.Pipeline.Clang_O3;
-    Mlt.Pipeline.Pluto_default;
-    Mlt.Pipeline.Pluto_best;
-    Mlt.Pipeline.Mlt_linalg;
-    Mlt.Pipeline.Mlt_blas;
-    Mlt.Pipeline.Mlt_affine_blis;
-  ]
-
-let config_of_name name =
-  List.find_opt
-    (fun c -> String.equal (Mlt.Pipeline.config_name c) name)
-    configs
+let config_of_name = Mlt.Pipeline.config_of_name
 
 let of_entries entries = { m_entries = entries }
 
@@ -68,15 +55,38 @@ let parse_entry ~path ~dir i json =
     | Some _, Some _ -> where "give either \"path\" or \"source\", not both"
     | None, None -> where "missing \"path\" or \"source\""
   in
-  let config =
-    match str_member "pipeline" with
-    | None -> Mlt.Pipeline.Mlt_linalg
-    | Some n -> (
+  let schedule =
+    match
+      (str_member "pipeline", str_member "script", str_member "script_source")
+    with
+    | None, None, None -> Mlt.Pipeline.Config Mlt.Pipeline.Mlt_linalg
+    | Some n, None, None -> (
         match config_of_name n with
-        | Some c -> c
+        | Some c -> Mlt.Pipeline.Config c
         | None -> where (Printf.sprintf "unknown pipeline %S" n))
+    | None, Some p, None -> (
+        let p =
+          if Filename.is_relative p then Filename.concat dir p else p
+        in
+        try
+          Mlt.Pipeline.schedule_of_script_text
+            ~name:("script:" ^ Filename.basename p)
+            ~file:p (read_file p)
+        with
+        | Support.Diag.Error (loc, msg) ->
+            where
+              (Printf.sprintf "transform script %s: %s" p
+                 (Support.Diag.to_string loc msg))
+        | Sys_error msg -> where ("transform script: " ^ msg))
+    | None, None, Some src -> (
+        try Mlt.Pipeline.schedule_of_script_text src
+        with Support.Diag.Error (loc, msg) ->
+          where ("inline transform script: " ^ Support.Diag.to_string loc msg))
+    | _ ->
+        where
+          "give at most one of \"pipeline\", \"script\" and \"script_source\""
   in
-  { e_name = name; e_source = source; e_config = config }
+  { e_name = name; e_source = source; e_schedule = schedule }
 
 let load path =
   let src = read_file path in

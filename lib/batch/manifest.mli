@@ -7,29 +7,36 @@
     {v
     { "entries": [
         {"name": "gemm", "path": "gemm.c", "pipeline": "mlt-linalg"},
-        {"name": "inline", "source": "void f(...) {...}"},
+        {"name": "tuned", "path": "gemm.c", "script": "schedule.mlir"},
+        {"name": "inline", "source": "void f(...) {...}",
+         "script_source": "builtin.module { \"transform.tile\"() {sizes = [16]} : () -> () }"},
         {"name": "pre-raised", "path": "kernel.mlir"}
     ] }
     v}
 
     Each entry names its input (a mini-C or [.mlir] file path, resolved
     relative to the manifest file, or inline mini-C [source]) and the
-    pipeline configuration to run ({!Mlt.Pipeline.config_name} spelling;
-    defaults to ["mlt-linalg"]). *)
+    schedule to run: a built-in pipeline configuration
+    ({!Mlt.Pipeline.config_name} spelling, default ["mlt-linalg"]), a
+    transform-script file ([script], resolved relative to the manifest),
+    or inline script IR text ([script_source]) — at most one of the
+    three (docs/TRANSFORM.md). *)
 
 type source = File of string | Inline of string
 
 type entry = {
   e_name : string;
   e_source : source;
-  e_config : Mlt.Pipeline.config;
+  e_schedule : Mlt.Pipeline.schedule;
 }
 
 type t
 
 (** [load path] parses a JSON manifest; raises [Support.Diag.Error] with
     a descriptive message on malformed input. File paths are resolved
-    relative to [path]'s directory. *)
+    relative to [path]'s directory. Transform scripts are parsed and
+    validated at load time, so schedule errors surface before any domain
+    spawns. *)
 val load : string -> t
 
 (** Build a manifest programmatically (the bench harness does). *)
@@ -46,5 +53,6 @@ val source_text : entry -> string
 (** True when the entry is textual IR ([.mlir]) rather than mini-C. *)
 val is_ir : entry -> bool
 
-(** Parses a {!Mlt.Pipeline.config_name} spelling. *)
+(** Parses a {!Mlt.Pipeline.config_name} spelling
+    (= {!Mlt.Pipeline.config_of_name}). *)
 val config_of_name : string -> Mlt.Pipeline.config option

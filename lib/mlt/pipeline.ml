@@ -1,6 +1,7 @@
 open Ir
 module T = Transforms
 module M = Machine
+module Script = Transform.Script
 
 type config =
   | Clang_O3
@@ -18,8 +19,46 @@ let config_name = function
   | Mlt_blas -> "mlt-blas"
   | Mlt_affine_blis -> "mlt-affine-blis"
 
+let all_configs =
+  [ Clang_O3; Pluto_default; Pluto_best; Mlt_linalg; Mlt_blas; Mlt_affine_blis ]
+
+let config_of_name name =
+  List.find_opt (fun c -> String.equal (config_name c) name) all_configs
+
 let all_figure9_configs =
   [ Clang_O3; Pluto_default; Pluto_best; Mlt_linalg; Mlt_blas ]
+
+(* The raising steps only this library can implement: the tactic sets
+   compile TDL and freeze pattern sets at script-compilation time, so
+   interpreting [transform.raise {set = "linalg"}] matches the legacy
+   [Tactics.raise_to_linalg_pass ()] exactly. Registered through the
+   same write-once-before-parallelism discipline as dialects. *)
+let steps_registered = Atomic.make false
+
+let register_transform_steps () =
+  Dialect.register_once steps_registered (fun () ->
+      Transform.Ops.register ();
+      Transform.Interp.register_step "transform.raise" (fun t_op ->
+          match Attr.get_str (Core.attr t_op "set") with
+          | "linalg" ->
+              let frozen = Rewriter.freeze (Tactics.all ()) in
+              fun payload -> Rewriter.apply_greedily payload frozen
+          | "affine-matmul" ->
+              let frozen =
+                Rewriter.freeze
+                  (Tdl.Backend.compile_tdl
+                     ~target:Tdl.Backend.To_affine_matmul
+                     Tdl.Frontend.gemm_tdl)
+              in
+              fun payload -> Rewriter.apply_greedily payload frozen
+          | "affine" -> T.Raise_scf.run
+          | other ->
+              Support.Diag.errorf ~loc:t_op.Core.o_loc
+                "transform.raise: unknown set %S" other);
+      Transform.Interp.register_step "transform.reorder_chains"
+        (fun _t_op payload -> Raise_chain.reorder payload);
+      Transform.Interp.register_step "transform.to_blas" (fun _t_op payload ->
+          To_blas.run payload))
 
 (* The op-def registry is write-once-before-parallelism (see
    Ir.Dialect): multi-domain drivers call this on the spawning domain so
@@ -30,7 +69,9 @@ let register_dialects () =
   Std_dialect.Scf.register ();
   Affine.Affine_ops.register ();
   Linalg.Linalg_ops.register ();
-  Blas.Blas_ops.register ()
+  Blas.Blas_ops.register ();
+  Transform.Ops.register ();
+  register_transform_steps ()
 
 let sole_func m =
   match List.filter Core.is_func (Core.ops_of_block (Core.module_block m)) with
@@ -44,117 +85,177 @@ let translate src = Met.Emit_affine.translate src
 (* The Linalg default path primarily performs tiling (§5.2, footnote 2). *)
 let linalg_tile_size = 32
 
-let passes_of_config config =
-  match config with
+(* ---- configs as transform scripts ---------------------------------------- *)
+
+(* Each variant elaborates to a script whose interpretation reproduces
+   the legacy hard-coded pass list byte-for-byte (asserted in
+   test_transform_dialect). *)
+let steps_of_config = function
   | Clang_O3 -> []
-  | Pluto_default -> [ T.Pluto.pass T.Pluto.default_config ]
-  | Pluto_best ->
-      (* Resolved at timing (needs the machine model); structural prepare
-         keeps the default. *)
-      [ T.Pluto.pass T.Pluto.default_config ]
+  | Pluto_default | Pluto_best ->
+      (* Pluto_best is resolved at timing (needs the machine model);
+         structural prepare keeps the default. *)
+      Script.of_pluto T.Pluto.default_config
   | Mlt_linalg ->
       [
-        T.Canonicalize.pass;
-        Tactics.raise_to_linalg_pass ();
-        T.Lower_linalg.tiled_pass ~size:linalg_tile_size;
+        Script.Canonicalize false;
+        Script.Raise "linalg";
+        Script.Lower_linalg (Some linalg_tile_size);
       ]
   | Mlt_blas ->
       [
-        T.Canonicalize.pass;
-        Tactics.raise_to_linalg_pass ();
-        Raise_chain.pass;
-        To_blas.pass;
+        Script.Canonicalize false;
+        Script.Raise "linalg";
+        Script.Reorder_chains;
+        Script.To_blas;
         (* Leftover fills have no library call; lower them to loops. *)
-        T.Lower_linalg.pass;
+        Script.Lower_linalg None;
       ]
   | Mlt_affine_blis ->
-      [ T.Canonicalize.pass; Tactics.raise_to_affine_matmul_pass () ]
+      [ Script.Canonicalize false; Script.Raise "affine-matmul" ]
+
+let script_of_config config = Script.of_steps (steps_of_config config)
+
+(* ---- schedules ------------------------------------------------------------ *)
+
+type schedule =
+  | Config of config
+  | Custom of { name : string; steps : Script.step list }
+
+let schedule_of_config config = Config config
+
+let schedule_of_steps ?name steps =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        "script:"
+        ^ String.sub
+            (Support.Digest.string (Script.print (Script.of_steps steps)))
+            0 12
+  in
+  Custom { name; steps }
+
+let schedule_of_script ?name m = schedule_of_steps ?name (Script.steps_of m)
+
+let schedule_of_script_text ?name ?file src =
+  schedule_of_steps ?name (Script.parse_steps ?file src)
+
+let schedule_name = function
+  | Config c -> config_name c
+  | Custom { name; _ } -> name
+
+let schedule_steps = function
+  | Config c -> steps_of_config c
+  | Custom { steps; _ } -> steps
+
+let script_of_schedule s = Script.of_steps (schedule_steps s)
+
+let passes_of_schedule s =
+  register_transform_steps ();
+  Transform.Interp.passes_of_steps (schedule_steps s)
+
+let passes_of_config config = passes_of_schedule (Config config)
 
 (* Bump whenever pipeline or pattern-set *behavior* changes in a way the
-   pass list below cannot express (a tactic's rewrite changes, a tile
-   size moves, the printer's output format shifts): the version is part
-   of every compilation-cache key, so stale artifacts from the previous
-   behavior can never be served (docs/CACHE.md). *)
-let cache_version = "mlt-pipeline-v1"
+   printed script below cannot express (a tactic's rewrite changes, the
+   printer's output format shifts): the version is part of every
+   compilation-cache key, so stale artifacts from the previous behavior
+   can never be served (docs/CACHE.md). *)
+let cache_version = "mlt-pipeline-v2"
 
-let cache_identity config =
-  (* The interner version participates too: hash-consing canonicalizes the
-     in-memory representation (and a future revision could change printed
-     canonical forms), so cached artifacts must never alias across
-     interning disciplines (ISSUE 8 / docs/PERF.md). *)
-  Printf.sprintf "%s+%s:%s[%s]" cache_version Support.Intern.version
-    (config_name config)
-    (String.concat ";"
-       (List.map (fun (p : Pass.t) -> p.Pass.name) (passes_of_config config)))
+let schedule_cache_identity s =
+  (* The printed transform script carries every transformation parameter
+     (tile sizes, BLIS mc/nc/kc, fusion heuristic, ...), so two
+     schedules with equal pass names but different parameters can never
+     alias in the cache — the aliasing bug the pass-name identity of
+     v1 had. The interner version participates too: hash-consing
+     canonicalizes the in-memory representation (and a future revision
+     could change printed canonical forms), so cached artifacts must
+     never alias across interning disciplines (docs/PERF.md). *)
+  Printf.sprintf "%s+%s:%s" cache_version Support.Intern.version
+    (Script.print (script_of_schedule s))
 
-let prepare_module ?pm config m =
+let cache_identity config = schedule_cache_identity (Config config)
+
+(* ---- preparation ---------------------------------------------------------- *)
+
+let prepare_schedule_module ?pm schedule m =
   let f = sole_func m in
   let mgr = match pm with Some pm -> pm | None -> Pass.create_manager () in
-  Pass.add_all mgr (passes_of_config config);
+  Pass.add_all mgr (passes_of_schedule schedule);
   Pass.run mgr f;
   Verifier.verify m;
   m
 
-let prepare ?pm config src = prepare_module ?pm config (translate src)
+let prepare_schedule ?pm schedule src =
+  prepare_schedule_module ?pm schedule (translate src)
 
-let max_trip_count f =
-  List.fold_left
-    (fun acc loop ->
-      match Affine.Affine_ops.for_trip_count loop with
-      | Some t -> max acc t
-      | None -> acc)
-    1
-    (Affine.Loops.all_loops f)
+let prepare_module ?pm config m =
+  prepare_schedule_module ?pm (Config config) m
+
+let prepare ?pm config src = prepare_schedule ?pm (Config config) src
+
+(* ---- simulated timing ----------------------------------------------------- *)
+
+(* Score every Pluto sweep configuration on the machine model and keep
+   the fastest — the model-driven stand-in for the paper's multi-day
+   autotuning, now running through the general tuner with the sweep
+   sharded across a domain pool. The winner (first strict minimum in
+   sweep order) and its IR are byte-identical to the legacy sequential
+   sweep's (asserted in test_tune). *)
+let tuned ?pm machine src =
+  register_dialects ();
+  let probe = translate src in
+  let trips = Tune.max_trip_count (sole_func probe) in
+  let space = Tune.pluto_space ~max_trip:trips in
+  let outcome =
+    Tune.search
+      ~domains:(Domain.recommended_domain_count ())
+      ~machine
+      ~translate:(fun () -> translate src)
+      space
+  in
+  (* The sweep runs outside any manager; replay the winning script
+     through the caller's manager so the recorded stats describe the
+     schedule [time] effectively selected. *)
+  (match pm with
+  | Some mgr ->
+      let m = translate src in
+      Pass.add_all mgr (Transform.Interp.passes_of_steps outcome.Tune.o_best.Tune.c_steps);
+      Pass.run mgr (sole_func m)
+  | None -> ());
+  (outcome.Tune.o_best_report, Some outcome.Tune.o_stats)
+
+let time_schedule_ext ?pm schedule machine src =
+  match schedule with
+  | Config Pluto_best -> tuned ?pm machine src
+  | _ ->
+      let m = prepare_schedule ?pm schedule src in
+      (M.Perf.time_func machine (sole_func m), None)
+
+let time_schedule ?pm schedule machine src =
+  fst (time_schedule_ext ?pm schedule machine src)
 
 let time ?pm config machine src =
-  match config with
-  | Pluto_best ->
-      (* Score every sweep configuration on the machine model and keep
-         the fastest — the model-driven stand-in for the paper's
-         multi-day autotuning. *)
-      let probe = translate src in
-      let trips = max_trip_count (sole_func probe) in
-      let candidates = T.Pluto.sweep_configs ~max_trip:trips in
-      let best =
-        List.fold_left
-          (fun best cfg ->
-            let m = translate src in
-            let f = sole_func m in
-            T.Pluto.apply cfg f;
-            Verifier.verify m;
-            let report = M.Perf.time_func machine f in
-            match best with
-            | Some (_, b) when b.M.Perf.seconds <= report.M.Perf.seconds ->
-                best
-            | _ -> Some (cfg, report))
-          None candidates
-      in
-      (match best with
-      | Some (cfg, report) ->
-          (* The sweep itself runs uninstrumented; replay the winning
-             configuration through the manager so the recorded stats
-             describe the pipeline [time] effectively selected. *)
-          (match pm with
-          | Some mgr ->
-              let m = translate src in
-              Pass.add mgr (T.Pluto.pass cfg);
-              Pass.run mgr (sole_func m)
-          | None -> ());
-          report
-      | None -> Support.Diag.errorf "pipeline: empty pluto sweep")
-  | _ ->
-      let m = prepare ?pm config src in
-      M.Perf.time_func machine (sole_func m)
+  time_schedule ?pm (Config config) machine src
 
 let gflops config machine src ~flops =
   let report = time config machine src in
   M.Perf.gflops ~flops report
 
-let check_semantics ?(seed = 0) ?eps ?engine config src =
+(* ---- differential execution ----------------------------------------------- *)
+
+let check_schedule_semantics ?(seed = 0) ?eps ?engine schedule src =
   let reference = translate src in
-  let transformed = prepare config src in
+  let transformed = prepare_schedule schedule src in
   let name = Core.func_name (sole_func reference) in
   Interp.Eval.equivalent ?eps ?engine reference transformed name ~seed
+
+let check_semantics ?seed ?eps ?engine config src =
+  check_schedule_semantics ?seed ?eps ?engine (Config config) src
+
+(* ---- compile-time measurement (§5.2) -------------------------------------- *)
 
 let compile_passes mode =
   match mode with

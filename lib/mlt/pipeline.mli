@@ -13,7 +13,14 @@
                         (tiling) Linalg path.
     - [Mlt_blas]      — raise to Linalg, convert to vendor-library calls.
     - [Mlt_affine_blis] — §5.1: raise GEMM to [affine.matmul], lower via
-                        the OpenBLAS/BLIS schedule model. *)
+                        the OpenBLAS/BLIS schedule model.
+
+    Configurations are no longer hard-coded pass lists: each variant
+    elaborates to a {!Transform.Script} ({!steps_of_config}) and every
+    derived artifact — passes, cache identity, preparation — comes from
+    interpreting that script. A {!schedule} generalizes [config] to
+    user-supplied scripts ([--transform-script=FILE], batch-manifest
+    [script] entries); see docs/TRANSFORM.md. *)
 
 open Ir
 
@@ -27,45 +34,139 @@ type config =
 
 val config_name : config -> string
 
+(** Every configuration, in {!config_name} display order. *)
+val all_configs : config list
+
+(** [config_of_name "mlt-blas"] — inverse of {!config_name}. *)
+val config_of_name : string -> config option
+
+val all_figure9_configs : config list
+
 (** [register_dialects ()] eagerly registers every dialect's op
-    definitions into the {!Ir.Dialect} registry. The registry is
+    definitions into the {!Ir.Dialect} registry — including the
+    transform dialect and this library's transform-step implementations
+    ({!register_transform_steps}). The registry is
     write-once-before-parallelism, so anything that spawns domains which
     compile IR must call this first, on the spawning domain
     ([Batch.Driver.run] does). Idempotent and cheap after the first
     call. *)
 val register_dialects : unit -> unit
 
-val all_figure9_configs : config list
+(** Installs the transform-step implementations only this library can
+    provide — [transform.raise] over the tactic sets ([linalg],
+    [affine-matmul], [affine]), [transform.reorder_chains] and
+    [transform.to_blas] — into {!Transform.Interp}'s registry.
+    Write-once; called by {!register_dialects} and by every script
+    elaboration here. *)
+val register_transform_steps : unit -> unit
 
-(** [cache_identity config] — the pipeline + pattern-set identity string
-    mixed into every compilation-cache key ({!Batch.Cache}): a version
-    tag (bumped when transformation behavior changes without the pass
-    list changing) plus the configuration's pass-name list. Two configs
-    with equal identity are promised to compile any source to identical
-    IR. *)
+(** {2 Configs as transform scripts} *)
+
+(** The configuration's elaboration to transform-script steps (empty for
+    [Clang_O3]; [Pluto_best] elaborates like [Pluto_default] — the sweep
+    is resolved at timing, when a machine model is in hand). *)
+val steps_of_config : config -> Transform.Script.step list
+
+(** [script_of_config c] = [Transform.Script.of_steps (steps_of_config c)]
+    — the configuration as a parseable [builtin.module] of transform
+    ops. *)
+val script_of_config : config -> Core.op
+
+(** {2 Schedules}
+
+    A schedule is what the drivers actually run: either a named built-in
+    configuration or a custom transform script. *)
+
+type schedule =
+  | Config of config
+  | Custom of { name : string; steps : Transform.Script.step list }
+
+val schedule_of_config : config -> schedule
+
+(** [schedule_of_steps steps] — a custom schedule. The default [name] is
+    ["script:" ^ digest-prefix] of the printed script, so two textually
+    identical scripts get the same display name. *)
+val schedule_of_steps : ?name:string -> Transform.Script.step list -> schedule
+
+(** [schedule_of_script m] — from an already parsed script module. *)
+val schedule_of_script : ?name:string -> Core.op -> schedule
+
+(** [schedule_of_script_text src] — parse script IR text (errors carry
+    [file] positions). *)
+val schedule_of_script_text :
+  ?name:string -> ?file:string -> string -> schedule
+
+val schedule_name : schedule -> string
+val schedule_steps : schedule -> Transform.Script.step list
+
+(** The schedule's steps as a script module. *)
+val script_of_schedule : schedule -> Core.op
+
+(** {2 Derived artifacts} *)
+
+(** [schedule_cache_identity s] — the pipeline + pattern-set identity
+    string mixed into every compilation-cache key ({!Batch.Cache}): a
+    version tag (bumped when transformation behavior changes in a way
+    the script cannot express), the interner version, and the {e printed
+    transform script}. Because the script carries every parameter (tile
+    sizes, BLIS blocking, fusion heuristic), two schedules with equal
+    identity are promised to compile any source to identical IR — the
+    v1 pass-name identity could not promise that. The schedule's display
+    name is deliberately excluded: equal scripts share cache entries. *)
+val schedule_cache_identity : schedule -> string
+
+(** [cache_identity config] = [schedule_cache_identity (Config config)]. *)
 val cache_identity : config -> string
 
-(** The configuration's transformation pipeline, as pass-manager passes
-    in application order (empty for [Clang_O3]). Pattern-backed passes
-    compile their tactic sets once, at list construction. *)
+(** The schedule's transformation pipeline, as pass-manager passes in
+    application order — one pass per script step, named by
+    {!Transform.Script.step_name}. Pattern-backed steps compile their
+    tactic sets once, at list construction. *)
+val passes_of_schedule : schedule -> Pass.t list
+
+(** [passes_of_config c] = [passes_of_schedule (Config c)]. *)
 val passes_of_config : config -> Pass.t list
 
-(** [prepare config src] — parse, distribute, apply the configuration's
-    transformations; returns the module (one function). The result always
-    verifies. With [pm] the passes register into (and record statistics
-    in) the caller's manager — pass a fresh manager per invocation, since
-    registration accumulates. *)
-val prepare : ?pm:Pass.manager -> config -> string -> Core.op
+(** {2 Preparation} *)
 
-(** [prepare_module config m] — {!prepare} starting from an already
-    translated module. *)
+(** [prepare_schedule schedule src] — parse, distribute, interpret the
+    schedule's script; returns the module (one function). The result
+    always verifies. With [pm] the passes register into (and record
+    statistics in) the caller's manager — pass a fresh manager per
+    invocation, since registration accumulates. *)
+val prepare_schedule : ?pm:Pass.manager -> schedule -> string -> Core.op
+
+(** {!prepare_schedule} starting from an already translated module. *)
+val prepare_schedule_module :
+  ?pm:Pass.manager -> schedule -> Core.op -> Core.op
+
+val prepare : ?pm:Pass.manager -> config -> string -> Core.op
 val prepare_module : ?pm:Pass.manager -> config -> Core.op -> Core.op
 
-(** [time config machine src] — simulated seconds and report for the
-    single kernel in [src]. With [pm], the preparation pipeline records
-    per-pass statistics into the caller's (fresh) manager; for
-    [Pluto_best] the sweep runs uninstrumented and the winning
-    configuration is replayed through [pm]. *)
+(** {2 Simulated timing} *)
+
+(** [time_schedule_ext schedule machine src] — simulated report for the
+    single kernel in [src], plus tuner statistics when the schedule
+    triggered a search. [Config Pluto_best] routes through {!Tune}:
+    the Pluto sweep as transform scripts, sharded across a domain pool,
+    winner byte-identical to the legacy sequential sweep. With [pm], the
+    preparation pipeline records per-pass statistics into the caller's
+    (fresh) manager; for [Pluto_best] the sweep runs uninstrumented and
+    the winning script is replayed through [pm]. *)
+val time_schedule_ext :
+  ?pm:Pass.manager ->
+  schedule ->
+  Machine.Machine_model.t ->
+  string ->
+  Machine.Perf.report * Tune.stats option
+
+val time_schedule :
+  ?pm:Pass.manager ->
+  schedule ->
+  Machine.Machine_model.t ->
+  string ->
+  Machine.Perf.report
+
 val time :
   ?pm:Pass.manager ->
   config ->
@@ -77,12 +178,22 @@ val time :
 val gflops :
   config -> Machine.Machine_model.t -> string -> flops:float -> float
 
-(** [check_semantics config src] — differential execution check: run the
-    untransformed kernel and the configuration's full pipeline output on
-    identical random inputs through the interpreter and compare every
-    buffer. The CLI's [--verify] and the test suite use this to pin each
-    pipeline to real execution semantics (not just the verifier's
-    structural invariants). *)
+(** {2 Differential execution} *)
+
+(** [check_schedule_semantics schedule src] — differential execution
+    check: run the untransformed kernel and the schedule's full pipeline
+    output on identical random inputs through the interpreter and
+    compare every buffer. The CLI's [--verify-exec] and the test suite
+    use this to pin each pipeline to real execution semantics (not just
+    the verifier's structural invariants). *)
+val check_schedule_semantics :
+  ?seed:int ->
+  ?eps:float ->
+  ?engine:Interp.Eval.engine ->
+  schedule ->
+  string ->
+  bool
+
 val check_semantics :
   ?seed:int ->
   ?eps:float ->

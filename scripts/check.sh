@@ -23,6 +23,12 @@ dune exec bench/main.exe -- patterns --quick
 # MLT_BENCH_ASSERT_SPEEDUP=1 (shared CI hosts — see docs/PERF.md).
 dune exec bench/main.exe -- scale --quick
 dune exec tools/json_check/json_check.exe -- BENCH_scale.json
+# Smoke-run the schedule autotuner on its trimmed --quick space: fails if
+# the searched winner is ever slower on the machine model than the
+# pluto-default baseline (the space contains it), and validates the
+# per-candidate results recorded in BENCH_tune.json (docs/TRANSFORM.md).
+dune exec bench/main.exe -- tune --quick
+dune exec tools/json_check/json_check.exe -- BENCH_tune.json results
 # Smoke the observability surface: --trace must produce a loadable Chrome
 # trace (non-empty traceEvents) and --pass-stats a well-formed JSON report
 # (schemas in docs/OBSERVABILITY.md).

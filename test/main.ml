@@ -27,6 +27,8 @@ let () =
       ("misc", Test_misc.suite);
       ("negative-controls", Test_negative.suite);
       ("mlt", Test_mlt.suite);
+      ("transform-dialect", Test_transform_dialect.suite);
+      ("tune", Test_tune.suite);
       ("batch", Test_batch.suite);
       ("cache", Test_cache.suite);
     ]

@@ -137,7 +137,7 @@ let stress_entries () =
       {
         Batch.Manifest.e_name = name;
         e_source = Batch.Manifest.Inline src;
-        e_config = configs.(i mod Array.length configs);
+        e_schedule = Mlt.Pipeline.Config configs.(i mod Array.length configs);
       })
     (W.tiny_suite ())
 
@@ -219,7 +219,7 @@ let test_fault_isolation () =
     {
       Batch.Manifest.e_name = "crash";
       e_source = Batch.Manifest.Inline "void broken(float A[4]) {";
-      e_config = Mlt.Pipeline.Mlt_linalg;
+      e_schedule = Mlt.Pipeline.Config Mlt.Pipeline.Mlt_linalg;
     }
   in
   let entries =
@@ -300,7 +300,7 @@ let test_write_outputs_distinct_files () =
         {
           Batch.Manifest.e_name = name;
           e_source = Batch.Manifest.Inline src;
-          e_config = Mlt.Pipeline.Mlt_linalg;
+          e_schedule = Mlt.Pipeline.Config Mlt.Pipeline.Mlt_linalg;
         })
       [ "gemm#0"; "gemm_0" ]
   in

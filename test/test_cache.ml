@@ -183,7 +183,7 @@ let mini_manifest n =
            {
              Batch.Manifest.e_name = name;
              e_source = Batch.Manifest.Inline src;
-             e_config = Mlt.Pipeline.Mlt_linalg;
+             e_schedule = Mlt.Pipeline.Config Mlt.Pipeline.Mlt_linalg;
            })
   in
   Batch.Manifest.of_entries entries
@@ -262,6 +262,50 @@ let test_killed_run_resumes_from_checkpoints () =
      resumed.Batch.Driver.rp_cache_misses);
   check_reports_match ~msg:"resumed vs uncached" oracle resumed
 
+(* Cache identity is derived from the schedule's *printed script*, not
+   its name or pass list: two schedules that differ only in a tile size
+   must never alias each other's entries (the v1 identity, built from
+   pass names alone, did exactly that). *)
+let test_different_tilings_never_alias () =
+  with_tmp_dir @@ fun dir ->
+  let manifest_with steps =
+    Batch.Manifest.of_entries
+      [
+        {
+          Batch.Manifest.e_name = "mm";
+          e_source =
+            Batch.Manifest.Inline
+              (Workloads.Polybench.mm ~ni:8 ~nj:8 ~nk:8 ());
+          e_schedule = Mlt.Pipeline.schedule_of_steps steps;
+        };
+      ]
+  in
+  let tile2 = manifest_with [ Transform.Script.Tile [ 2 ] ] in
+  let tile4 = manifest_with [ Transform.Script.Tile [ 4 ] ] in
+  Alcotest.(check bool) "distinct scripts, distinct cache identities" false
+    (String.equal
+       (Mlt.Pipeline.schedule_cache_identity
+          (List.hd (Batch.Manifest.entries tile2)).Batch.Manifest.e_schedule)
+       (Mlt.Pipeline.schedule_cache_identity
+          (List.hd (Batch.Manifest.entries tile4)).Batch.Manifest.e_schedule));
+  let run m = Batch.Driver.run ~domains:1 ~cache:(C.open_ ~dir) m in
+  let cold2 = run tile2 in
+  Alcotest.(check (pair int int)) "cold 2x2 tiling compiles" (0, 1)
+    (cold2.Batch.Driver.rp_cache_hits, cold2.Batch.Driver.rp_cache_misses);
+  let cold4 = run tile4 in
+  Alcotest.(check (pair int int)) "4x4 tiling misses the 2x2 entry" (0, 1)
+    (cold4.Batch.Driver.rp_cache_hits, cold4.Batch.Driver.rp_cache_misses);
+  Alcotest.(check bool) "the two tilings produce different IR" false
+    (String.equal
+       (List.hd cold2.Batch.Driver.rp_results).Batch.Driver.r_ir
+       (List.hd cold4.Batch.Driver.rp_results).Batch.Driver.r_ir);
+  let warm2 = run tile2 in
+  Alcotest.(check (pair int int)) "same tiling is served from cache" (1, 0)
+    (warm2.Batch.Driver.rp_cache_hits, warm2.Batch.Driver.rp_cache_misses);
+  Alcotest.(check string) "served IR byte-identical"
+    (List.hd cold2.Batch.Driver.rp_results).Batch.Driver.r_ir
+    (List.hd warm2.Batch.Driver.rp_results).Batch.Driver.r_ir
+
 let suite =
   [
     Alcotest.test_case "commits persist across reopen" `Quick
@@ -300,4 +344,6 @@ let suite =
       test_warm_run_served_entirely_from_cache;
     Alcotest.test_case "killed run resumes from checkpoints" `Quick
       test_killed_run_resumes_from_checkpoints;
+    Alcotest.test_case "different tilings never alias in the cache" `Quick
+      test_different_tilings_never_alias;
   ]

@@ -130,17 +130,21 @@ let test_mlt_linalg_pipeline_stats () =
   ignore (Mlt.Pipeline.prepare_module ~pm Mlt.Pipeline.Mlt_linalg m);
   let ts = Pass.timings pm in
   Alcotest.(check (list string)) "pipeline passes"
-    [ "canonicalize"; "raise-affine-to-linalg"; "lower-linalg-tiled" ]
+    [
+      "transform.canonicalize";
+      "transform.raise[linalg]";
+      "transform.lower_linalg[32]";
+    ]
     (List.map (fun t -> t.Pass.pass_name) ts);
   let entry name = List.find (fun t -> t.Pass.pass_name = name) ts in
-  let raise_t = entry "raise-affine-to-linalg" in
+  let raise_t = entry "transform.raise[linalg]" in
   Alcotest.(check bool) "raising rewrote at least one site" true
     (raise_t.Pass.rewrites >= 1);
   Alcotest.(check bool) "attempts >= rewrites" true
     (raise_t.Pass.match_attempts >= raise_t.Pass.rewrites);
   Alcotest.(check bool) "raising shrinks the op count" true
     (raise_t.Pass.ops_after < raise_t.Pass.ops_before);
-  let lower_t = entry "lower-linalg-tiled" in
+  let lower_t = entry "transform.lower_linalg[32]" in
   Alcotest.(check bool) "lowering re-expands the op count" true
     (lower_t.Pass.ops_after > lower_t.Pass.ops_before)
 
@@ -155,10 +159,10 @@ let test_ir_snapshots () =
   ignore (Mlt.Pipeline.prepare_module ~pm Mlt.Pipeline.Mlt_linalg m);
   let snaps = List.rev !snaps in
   Alcotest.(check int) "one snapshot per pass" 3 (List.length snaps);
-  let after_raise = List.assoc "raise-affine-to-linalg" snaps in
+  let after_raise = List.assoc "transform.raise[linalg]" snaps in
   Alcotest.(check bool) "snapshot shows the raised op" true
     (Astring_contains.contains after_raise "linalg.matmul");
-  let after_lower = List.assoc "lower-linalg-tiled" snaps in
+  let after_lower = List.assoc "transform.lower_linalg[32]" snaps in
   Alcotest.(check bool) "snapshot shows the lowered loops" true
     (Astring_contains.contains after_lower "affine.for")
 

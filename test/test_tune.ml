@@ -1,0 +1,179 @@
+(* The schedule autotuner: winner identical (down to IR bytes) to the
+   legacy sequential Pluto sweep, deterministic across domain counts and
+   seeds, and never worse than the pluto-default baseline on the gemm
+   search space. *)
+
+open Ir
+module T = Transforms
+module M = Machine
+module W = Workloads.Polybench
+module Script = Transform.Script
+
+let () = Mlt.Pipeline.register_dialects ()
+
+let machine = M.Machine_model.amd_2920x
+
+let src = W.mm ~ni:16 ~nj:16 ~nk:16 ()
+
+let translate () = Met.Emit_affine.translate src
+
+let sole_func m =
+  List.find Core.is_func (Core.ops_of_block (Core.module_block m))
+
+let max_trip = 16
+
+(* The sequential sweep Mlt.Pipeline ran before the tuner existed,
+   inlined verbatim: first strict minimum over sweep_configs order. *)
+let legacy_sweep () =
+  let best =
+    List.fold_left
+      (fun best cfg ->
+        let m = translate () in
+        let f = sole_func m in
+        T.Pluto.apply cfg f;
+        Verifier.verify m;
+        let report = M.Perf.time_func machine f in
+        match best with
+        | Some (_, _, (b : M.Perf.report))
+          when b.M.Perf.seconds <= report.M.Perf.seconds ->
+            best
+        | _ -> Some (cfg, m, report))
+      None
+      (T.Pluto.sweep_configs ~max_trip)
+  in
+  Option.get best
+
+let test_winner_matches_legacy_sweep () =
+  let cfg, legacy_ir, legacy_report = legacy_sweep () in
+  let outcome =
+    Tune.search ~domains:1 ~machine ~translate (Tune.pluto_space ~max_trip)
+  in
+  Alcotest.(check string) "same winning configuration"
+    ("pluto-" ^ T.Pluto.config_to_string cfg)
+    outcome.Tune.o_best.Tune.c_name;
+  Alcotest.(check (float 0.)) "same modelled seconds"
+    legacy_report.M.Perf.seconds
+    outcome.Tune.o_best_report.M.Perf.seconds;
+  (* Replaying the winning script must reproduce the sweep's IR bytes. *)
+  let replay = translate () in
+  List.iter
+    (fun c -> ignore (Transform.Interp.apply_step c (sole_func replay)))
+    (Transform.Interp.compile_steps outcome.Tune.o_best.Tune.c_steps);
+  Alcotest.(check string) "winning IR byte-identical"
+    (Printer.op_to_string legacy_ir)
+    (Printer.op_to_string replay)
+
+let test_deterministic_across_domains () =
+  let outcomes =
+    List.map
+      (fun domains ->
+        Tune.search ~domains ~machine ~translate (Tune.pluto_space ~max_trip))
+      [ 1; 2; 4; 7 ]
+  in
+  match outcomes with
+  | first :: rest ->
+      List.iter
+        (fun (o : Tune.outcome) ->
+          Alcotest.(check int) "same winner index" first.Tune.o_best_index
+            o.Tune.o_best_index;
+          Alcotest.(check string) "same winner name"
+            first.Tune.o_best.Tune.c_name o.Tune.o_best.Tune.c_name;
+          Alcotest.(check (float 0.)) "same seconds"
+            first.Tune.o_stats.Tune.t_best_seconds
+            o.Tune.o_stats.Tune.t_best_seconds)
+        rest
+  | [] -> assert false
+
+let test_subsample_deterministic () =
+  let space = Tune.gemm_space ~max_trip () in
+  let names o =
+    List.map
+      (fun (ev : Tune.evaluation) -> ev.Tune.ev_candidate.Tune.c_name)
+      o.Tune.o_evaluations
+  in
+  let a = Tune.search ~domains:1 ~seed:7 ~limit:6 ~machine ~translate space in
+  let b = Tune.search ~domains:3 ~seed:7 ~limit:6 ~machine ~translate space in
+  Alcotest.(check (list string)) "same subsampled candidates" (names a)
+    (names b);
+  Alcotest.(check int) "limit respected" 6 a.Tune.o_stats.Tune.t_candidates;
+  Alcotest.(check string) "baseline candidate always kept"
+    (List.hd (List.map (fun c -> c.Tune.c_name) space))
+    (List.hd (names a));
+  Alcotest.(check string) "same winner" a.Tune.o_best.Tune.c_name
+    b.Tune.o_best.Tune.c_name;
+  let c = Tune.search ~domains:1 ~seed:8 ~limit:6 ~machine ~translate space in
+  Alcotest.(check bool) "a different seed may pick differently" true
+    (List.length (names c) = 6)
+
+let test_gemm_space_beats_default () =
+  let outcome =
+    Tune.search ~domains:2 ~machine ~translate
+      (Tune.gemm_space ~max_trip ())
+  in
+  let default_seconds =
+    (Mlt.Pipeline.time Mlt.Pipeline.Pluto_default machine src)
+      .M.Perf.seconds
+  in
+  Alcotest.(check bool) "tuned never worse than pluto-default" true
+    (outcome.Tune.o_stats.Tune.t_best_seconds <= default_seconds +. 1e-12)
+
+let test_failing_candidates_lose_not_abort () =
+  (* A candidate that stops at the Linalg level cannot be timed (the
+     machine model only times affine loops and library calls): it must
+     lose with its error recorded, not crash the search. *)
+  let space =
+    [
+      { Tune.c_name = "baseline"; c_steps = [] };
+      {
+        Tune.c_name = "broken";
+        c_steps = [ Script.Canonicalize false; Script.Raise "linalg" ];
+      };
+    ]
+  in
+  let outcome = Tune.search ~domains:1 ~machine ~translate space in
+  Alcotest.(check int) "both candidates recorded" 2
+    outcome.Tune.o_stats.Tune.t_candidates;
+  let broken =
+    List.find
+      (fun (ev : Tune.evaluation) ->
+        ev.Tune.ev_candidate.Tune.c_name = "broken")
+      outcome.Tune.o_evaluations
+  in
+  Alcotest.(check bool) "broken candidate carries its error" true
+    (broken.Tune.ev_error <> None)
+
+let test_pluto_best_pipeline_uses_tuner () =
+  (* Config Pluto_best must report the same winner the tuner finds, and
+     surface the search stats through time_schedule_ext. *)
+  let report, stats =
+    Mlt.Pipeline.time_schedule_ext
+      (Mlt.Pipeline.Config Mlt.Pipeline.Pluto_best)
+      machine src
+  in
+  let _, _, legacy_report = legacy_sweep () in
+  Alcotest.(check (float 0.)) "pluto-best = legacy sweep winner"
+    legacy_report.M.Perf.seconds report.M.Perf.seconds;
+  match stats with
+  | Some st ->
+      Alcotest.(check int) "stats cover the whole sweep"
+        (List.length (T.Pluto.sweep_configs ~max_trip:16))
+        st.Tune.t_candidates;
+      Alcotest.(check (float 0.)) "stats carry the winning seconds"
+        report.M.Perf.seconds st.Tune.t_best_seconds
+  | None -> Alcotest.fail "Pluto_best should return tuner stats"
+
+let suite =
+  [
+    Alcotest.test_case "winner byte-identical to the legacy Pluto sweep"
+      `Quick test_winner_matches_legacy_sweep;
+    Alcotest.test_case "winner independent of the domain count" `Quick
+      test_deterministic_across_domains;
+    Alcotest.test_case "seeded subsampling is deterministic" `Quick
+      test_subsample_deterministic;
+    Alcotest.test_case "gemm space never loses to pluto-default" `Quick
+      test_gemm_space_beats_default;
+    Alcotest.test_case "failing candidates lose instead of aborting" `Quick
+      test_failing_candidates_lose_not_abort;
+    Alcotest.test_case "Pluto_best routes through the tuner" `Quick
+      test_pluto_best_pipeline_uses_tuner;
+  ]
