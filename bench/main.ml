@@ -18,8 +18,11 @@ module P = Mlt.Pipeline
 let quick = ref false
 
 (* [--trace=FILE] wraps the selected sections in a Chrome trace sink, so
-   a bench run can be inspected in Perfetto like any mlt-opt run. *)
+   a bench run can be inspected in Perfetto like any mlt-opt run.
+   [--metrics=FILE] enables the Ir.Metrics registry and exports the
+   merged snapshot when the selected sections finish. *)
 let trace_file = ref None
+let metrics_file = ref None
 
 let sep title = Printf.printf "\n== %s ==\n%!" title
 
@@ -344,7 +347,9 @@ let interp () =
      compilation;\n checked = accesses the interval analysis could not prove \
      in bounds.)\n";
   Support.Atomic_io.with_file ~path:"BENCH_interp.json" (fun oc ->
-  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"n\": %d,\n  \"results\": [\n"
+  Printf.fprintf oc
+    "{\n  \"run_meta\": %s,\n  \"quick\": %b,\n  \"n\": %d,\n  \"results\": [\n"
+    (Support.Run_meta.to_string ())
     !quick n;
   List.iteri
     (fun i (name, walk_t, compiled_t, stage_t, compiled) ->
@@ -490,11 +495,13 @@ let patterns_section () =
 
   Support.Atomic_io.with_file ~path:"BENCH_patterns.json" (fun oc ->
   Printf.fprintf oc
-    "{\n  \"quick\": %b,\n  \"set_size\": %d,\n  \"total_attempts_indexed\": \
+    "{\n  \"run_meta\": %s,\n  \"quick\": %b,\n  \"set_size\": %d,\n  \
+     \"total_attempts_indexed\": \
      %d,\n  \"total_attempts_rootonly\": %d,\n  \
      \"total_attempts_unindexed\": %d,\n  \"attempt_ratio\": %.2f,\n  \
      \"prefix_attempt_ratio\": %.3f,\n  \"results_identical\": %b,\n  \
      \"kernels\": [\n"
+    (Support.Run_meta.to_string ())
     !quick set_size !total_compiled !total_stripped !total_relaxed ratio
     prefix_ratio (!mismatches = 0);
   List.iteri
@@ -539,6 +546,30 @@ let patterns_section () =
     if per_call_ns > 50. then
       Support.Diag.errorf
         "bench patterns: disabled tracing costs %.1f ns/call (> 50 ns budget)"
+        per_call_ns
+  end;
+  (* The metrics registry shares the rewrite hot path with tracing (the
+     cache and interpreter call [observe] per operation) and the same
+     budget: disabled, an update is one atomic read. *)
+  if Metrics.enabled () then
+    Printf.printf
+      "disabled-metrics overhead check skipped (--metrics is on)\n"
+  else begin
+    let h = Metrics.histogram "bench_noop_seconds" in
+    let calls = 2_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to calls do
+      Metrics.observe h 1e-6
+    done;
+    let per_call_ns =
+      (Unix.gettimeofday () -. t0) /. float_of_int calls *. 1e9
+    in
+    Printf.printf
+      "disabled-metrics observe: %.1f ns/call over %d calls (budget: 50 ns)\n"
+      per_call_ns calls;
+    if per_call_ns > 50. then
+      Support.Diag.errorf
+        "bench patterns: disabled metrics cost %.1f ns/call (> 50 ns budget)"
         per_call_ns
   end;
   if ratio < 5. then
@@ -719,7 +750,7 @@ let scale () =
   in
   Support.Atomic_io.write_file ~path:"BENCH_scale.json"
     (Printf.sprintf
-       "{\n  \"quick\": %b,\n  \"target_ops\": %d,\n  \"module_ops\": %d,\n  \
+       "{\n  \"run_meta\": %s,\n  \"quick\": %b,\n  \"target_ops\": %d,\n  \"module_ops\": %d,\n  \
         \"module_funcs\": %d,\n  \"set_size\": %d,\n  \"compiled_seconds\": \
         %.6f,\n  \"rootonly_seconds\": %.6f,\n  \"unindexed_seconds\": \
         %.6f,\n  \"compiled_steady_seconds\": %.6f,\n  \
@@ -731,6 +762,7 @@ let scale () =
         \"speedup_target\": 5.0,\n  \"speedup_asserted\": %b,\n  \
         \"results_identical\": %b,\n  \"intern_typ\": %s,\n  \"intern_attr\": \
         %s,\n  \"intern_affine_expr\": %s,\n  \"intern_affine_map\": %s\n}\n"
+       (Support.Run_meta.to_string ())
        !quick target ops_c probe_funcs
        (List.length (build_set ()))
        sec_c sec_s sec_r std_c std_s std_r att_c att_s att_r apps_c
@@ -819,6 +851,7 @@ let tune_section () =
     (J.to_string
        (J.Obj
           [
+            ("run_meta", Support.Run_meta.json ());
             ("quick", J.Bool !quick);
             ("n", J.num_int n);
             ("machine", J.Str machine.MM.name);
@@ -1024,7 +1057,7 @@ let batch () =
   in
   Support.Atomic_io.write_file ~path:"BENCH_batch.json"
     (Printf.sprintf
-       "{\n  \"quick\": %b,\n  \"entries\": %d,\n  \"domains\": %d,\n  \
+       "{\n  \"run_meta\": %s,\n  \"quick\": %b,\n  \"entries\": %d,\n  \"domains\": %d,\n  \
         \"cores\": %d,\n  \"seq_seconds\": %.6f,\n  \"par_seconds\": %.6f,\n  \
         \"speedup\": %.3f,\n  \"speedup_target\": %.2f,\n  \
         \"speedup_asserted\": %b,\n  \"ir_identical\": %b,\n  \
@@ -1032,6 +1065,7 @@ let batch () =
         \"fault_isolated\": %b,\n  \"cache_cold_seconds\": %.6f,\n  \
         \"cache_warm_seconds\": %.6f,\n  \"cache_speedup\": %.3f,\n  \
         \"cache_warm_hits\": %d,\n  \"cache_warm_identical\": %b\n}\n"
+       (Support.Run_meta.to_string ())
        !quick
        (Batch.Manifest.size manifest)
        pool_domains cores seq.Batch.Driver.rp_wall_seconds
@@ -1215,6 +1249,10 @@ let () =
           trace_file :=
             Some (String.sub a 8 (String.length a - 8));
           false)
+        else if String.starts_with ~prefix:"--metrics=" a then (
+          metrics_file :=
+            Some (String.sub a 10 (String.length a - 10));
+          false)
         else true)
       args
   in
@@ -1244,14 +1282,26 @@ let () =
         | other -> Printf.eprintf "unknown section %S\n" other)
       sections
   in
-  match !trace_file with
-  | None -> run_sections ()
+  let with_trace f =
+    match !trace_file with
+    | None -> f ()
+    | Some path ->
+        let sink = Trace.Chrome.create () in
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.Chrome.detach sink;
+            Trace.Chrome.write sink path;
+            Printf.printf "wrote trace (%d events) to %s\n"
+              (Trace.Chrome.count sink) path)
+          f
+  in
+  match !metrics_file with
+  | None -> with_trace run_sections
   | Some path ->
-      let sink = Trace.Chrome.create () in
+      Metrics.set_enabled true;
       Fun.protect
         ~finally:(fun () ->
-          Trace.Chrome.detach sink;
-          Trace.Chrome.write sink path;
-          Printf.printf "wrote trace (%d events) to %s\n"
-            (Trace.Chrome.count sink) path)
-        run_sections
+          Metrics.record_intern_stats ();
+          Metrics.write ~path (Metrics.snapshot ());
+          Printf.printf "wrote metrics to %s\n" path)
+        (fun () -> with_trace run_sections)

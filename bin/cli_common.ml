@@ -59,28 +59,35 @@ let resolve_schedule ~config ~script =
            ~name:("script:" ^ Filename.basename path)
            ~file:path (read_file path))
 
-(* The per-pass JSON report with the tuner's search summary appended as
-   a "tune" member when a search ran (docs/OBSERVABILITY.md). *)
+(* The per-pass JSON report, stamped with the shared run_meta block
+   (trace_stats --diff refuses to compare across schema versions) and
+   with the tuner's search summary appended as a "tune" member when a
+   search ran (docs/OBSERVABILITY.md). *)
 let pass_stats_json ?tune pm =
   let base = Ir.Pass.report_json pm in
-  match tune with
-  | None -> base
-  | Some (st : Tune.stats) -> (
-      match Support.Json.parse base with
-      | Ok (Support.Json.Obj fields) ->
-          Support.Json.to_string
-            (Support.Json.Obj
-               (fields
-               @ [
-                   ( "tune",
-                     Support.Json.Obj
-                       [
-                         ("candidates", Support.Json.num_int st.Tune.t_candidates);
-                         ("evaluated", Support.Json.num_int st.Tune.t_evaluated);
-                         ("best_seconds", Support.Json.Num st.Tune.t_best_seconds);
-                       ] );
-                 ]))
-      | _ -> base)
+  match Support.Json.parse base with
+  | Ok (Support.Json.Obj fields) ->
+      let tune_fields =
+        match tune with
+        | None -> []
+        | Some (st : Tune.stats) ->
+            [
+              ( "tune",
+                Support.Json.Obj
+                  [
+                    ("candidates", Support.Json.num_int st.Tune.t_candidates);
+                    ("evaluated", Support.Json.num_int st.Tune.t_evaluated);
+                    ("best_seconds", Support.Json.Num st.Tune.t_best_seconds);
+                    ( "eval_seconds",
+                      Ir.Metrics.histogram_snapshot_json st.Tune.t_eval_latency
+                    );
+                  ] );
+            ]
+      in
+      Support.Json.to_string
+        (Support.Json.Obj
+           ((("run_meta", Support.Run_meta.json ()) :: fields) @ tune_fields))
+  | _ -> base
 
 let interp_engine =
   Arg.(
@@ -133,6 +140,19 @@ let trace =
            events, interpreter compile/exec spans and remarks. Load it in \
            Perfetto or chrome://tracing (schema in docs/OBSERVABILITY.md).")
 
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the Ir.Metrics registry for this run and write the \
+           merged snapshot to $(docv) on exit: pass timings and GC \
+           deltas, cache hit/miss and latencies, interpreter \
+           compile/exec timings, intern-table sizes. JSON by default; \
+           Prometheus/OpenMetrics text when $(docv) ends in .prom or \
+           .txt (schema in docs/OBSERVABILITY.md).")
+
 let print_debug_locs =
   Arg.(
     value & flag
@@ -172,22 +192,36 @@ let remarks =
            stage that rejected them), 'analysis', or 'all'.")
 
 (* Installs the sinks the observability flags ask for around [f]:
-   [--trace=FILE] a Chrome trace sink (the file is written even when [f]
-   raises, so a failing pipeline still leaves its trace), [--remarks] a
-   filtered stderr remark printer. The trace sink goes in first so that
-   remarks are mirrored into the trace as instant events. *)
-let with_observability ~trace ~remarks f =
+   [--metrics=FILE] enables the registry and exports the merged snapshot
+   on exit, [--trace=FILE] a Chrome trace sink, [--remarks] a filtered
+   stderr remark printer. All exports happen even when [f] raises, so a
+   failing pipeline still leaves its artifacts. Metrics wrap outermost
+   (intern stats are recorded after the trace sink has flushed); the
+   trace sink goes in before remarks so remarks are mirrored into the
+   trace as instant events. *)
+let with_observability ?metrics ~trace ~remarks f =
   let with_remarks f =
     match remarks with
     | None -> f ()
     | Some kinds -> Ir.Remark.with_sink (Ir.Remark.stderr_sink ~kinds ()) f
   in
-  match trace with
-  | None -> with_remarks f
+  let with_trace f =
+    match trace with
+    | None -> with_remarks f
+    | Some path ->
+        let sink = Ir.Trace.Chrome.create () in
+        Fun.protect
+          ~finally:(fun () ->
+            Ir.Trace.Chrome.detach sink;
+            Ir.Trace.Chrome.write sink path)
+          (fun () -> with_remarks f)
+  in
+  match metrics with
+  | None -> with_trace f
   | Some path ->
-      let sink = Ir.Trace.Chrome.create () in
+      Ir.Metrics.set_enabled true;
       Fun.protect
         ~finally:(fun () ->
-          Ir.Trace.Chrome.detach sink;
-          Ir.Trace.Chrome.write sink path)
-        (fun () -> with_remarks f)
+          Ir.Metrics.record_intern_stats ();
+          Ir.Metrics.write ~path (Ir.Metrics.snapshot ()))
+        (fun () -> with_trace f)

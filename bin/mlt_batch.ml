@@ -15,8 +15,10 @@
 open Cmdliner
 
 let run manifest_path domains seq pipeline script capture_remarks output
-    report cache_dir resume quiet =
+    report cache_dir resume quiet metrics progress =
   try
+    Cli_common.with_observability ?metrics ~trace:None ~remarks:None
+    @@ fun () ->
     let manifest = Batch.Manifest.load manifest_path in
     let manifest =
       match Cli_common.resolve_schedule ~config:pipeline ~script with
@@ -58,7 +60,9 @@ let run manifest_path domains seq pipeline script capture_remarks output
             dropped
             (if dropped = 1 then "y" else "ies")
     | _ -> ());
-    let rp = Batch.Driver.run ~domains ~capture_remarks ?cache manifest in
+    let rp =
+      Batch.Driver.run ~domains ~capture_remarks ~progress ?cache manifest
+    in
     (match output with
     | Some dir -> Batch.Driver.write_outputs ~dir rp
     | None -> ());
@@ -177,13 +181,22 @@ let quiet_arg =
     value & flag
     & info [ "quiet" ] ~doc:"Suppress the stdout report and summary line.")
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Stderr heartbeat while the batch runs: done/failed/cached \
+           counts, rate and ETA, redrawn in place on a tty. Pure \
+           observability — results and signatures are unaffected.")
+
 let cmd =
   let term =
     Term.(
       const run $ manifest_arg $ domains_arg $ seq_arg
       $ Cli_common.config_name_arg $ Cli_common.transform_script_arg
       $ remarks_arg $ output_arg $ report_arg $ cache_dir_arg $ resume_arg
-      $ quiet_arg)
+      $ quiet_arg $ Cli_common.metrics $ progress_arg)
   in
   Cmd.v
     (Cmd.info "mlt-batch" ~version:"1.0"

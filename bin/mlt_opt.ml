@@ -38,14 +38,14 @@ let run input list_ops_flag force_c config script tactics_file dump_tds
     raise_scf canonicalize fast_math raise_affine raise_linalg reorder_chains
     to_blas
     lower_linalg lower_linalg_tiled fuse tile lower_affine dce verify_each
-    verify_exec engine timing pass_stats trace print_debug_locs remarks
+    verify_exec engine timing pass_stats trace metrics print_debug_locs remarks
     print_ir_after_all print_ir_after output =
   if list_ops_flag then (
     list_ops ();
     Ok ())
   else
   try
-    Cli_common.with_observability ~trace ~remarks @@ fun () ->
+    Cli_common.with_observability ?metrics ~trace ~remarks @@ fun () ->
     Interp.Eval.default_engine := engine;
     let src = read_file input in
     let is_c =
@@ -133,7 +133,7 @@ let run input list_ops_flag force_c config script tactics_file dump_tds
     | None -> print_string text
     | Some path -> Support.Atomic_io.write_file ~path text);
     if timing then print_string (Ir.Pass.report_table pm);
-    if pass_stats then print_endline (Ir.Pass.report_json pm);
+    if pass_stats then print_endline (Cli_common.pass_stats_json pm);
     Ok ()
   with
   | Support.Diag.Error (loc, msg) ->
@@ -196,6 +196,7 @@ let cmd =
     $ Cli_common.timing
     $ Cli_common.pass_stats
     $ Cli_common.trace
+    $ Cli_common.metrics
     $ Cli_common.print_debug_locs
     $ Cli_common.remarks
     $ flag [ "print-ir-after-all" ] "Print the IR after every pass."

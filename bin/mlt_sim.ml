@@ -59,9 +59,9 @@ let run_tune ~machine ~quick ~pass_stats src =
       (Cli_common.pass_stats_json ~tune:st (Ir.Pass.create_manager ()))
 
 let run input config script tune quick machine flops engine execute verify
-    timing pass_stats trace remarks =
+    timing pass_stats trace metrics remarks =
   try
-    Cli_common.with_observability ~trace ~remarks @@ fun () ->
+    Cli_common.with_observability ?metrics ~trace ~remarks @@ fun () ->
     Interp.Eval.default_engine := engine;
     let src = Cli_common.read_file input in
     if tune then begin
@@ -159,6 +159,7 @@ let cmd =
       $ Cli_common.timing
       $ Cli_common.pass_stats
       $ Cli_common.trace
+      $ Cli_common.metrics
       $ Cli_common.remarks)
   in
   Cmd.v

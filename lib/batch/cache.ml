@@ -168,10 +168,45 @@ let with_lock t f =
   Mutex.lock t.c_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.c_mutex) f
 
+(* Registry-exported cache activity (docs/OBSERVABILITY.md): the
+   hit/miss counters mirror the per-handle pair below so a --metrics file
+   agrees with report.json; the latency histograms include lock wait,
+   which is the part worth watching once many domains share one
+   handle. *)
+let m_hits =
+  lazy (Ir.Metrics.counter ~help:"cache lookups served a payload" "mlt_cache_hits")
+
+let m_misses =
+  lazy
+    (Ir.Metrics.counter ~help:"cache lookups that fell through to a compile"
+       "mlt_cache_misses")
+
+let m_stores =
+  lazy (Ir.Metrics.counter ~help:"cache blobs committed" "mlt_cache_stores")
+
+let m_find_seconds =
+  lazy
+    (Ir.Metrics.histogram ~help:"Cache.find latency incl. lock wait"
+       "mlt_cache_find_seconds")
+
+let m_store_seconds =
+  lazy
+    (Ir.Metrics.histogram ~help:"Cache.store latency incl. lock wait"
+       "mlt_cache_store_seconds")
+
+let count_hit t =
+  t.c_hits <- t.c_hits + 1;
+  Ir.Metrics.incr (Lazy.force m_hits)
+
+let count_miss t =
+  t.c_misses <- t.c_misses + 1;
+  Ir.Metrics.incr (Lazy.force m_misses)
+
 let find t k =
+  Ir.Metrics.time (Lazy.force m_find_seconds) @@ fun () ->
   with_lock t (fun () ->
       if not (Hashtbl.mem t.c_committed k) then begin
-        t.c_misses <- t.c_misses + 1;
+        count_miss t;
         None
       end
       else begin
@@ -181,7 +216,7 @@ let find t k =
              and a recompile, never a crash or a stale artifact. *)
           Hashtbl.remove t.c_committed k;
           (try Sys.remove path with Sys_error _ -> ());
-          t.c_misses <- t.c_misses + 1;
+          count_miss t;
           None
         in
         match In_channel.with_open_bin path In_channel.input_all with
@@ -190,7 +225,7 @@ let find t k =
             match Support.Json.parse src with
             | Error _ -> invalidate ()
             | Ok json ->
-                t.c_hits <- t.c_hits + 1;
+                count_hit t;
                 Some json)
       end)
 
@@ -205,8 +240,10 @@ let hit_miss t = with_lock t (fun () -> (t.c_hits, t.c_misses))
 let store t ~key:k json =
   if not (Support.Digest.is_hex k) then
     invalid_arg "Cache.store: key is not a digest";
+  Ir.Metrics.time (Lazy.force m_store_seconds) @@ fun () ->
   with_lock t (fun () ->
       if not (Hashtbl.mem t.c_committed k) then begin
+        Ir.Metrics.incr (Lazy.force m_stores);
         let path = blob_path t.c_dir k in
         Support.Atomic_io.mkdir_p (Filename.dirname path);
         let payload = Support.Json.to_string json in

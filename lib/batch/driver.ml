@@ -37,8 +37,9 @@ module J = Support.Json
 (* The artifact payload format: what a committed cache blob must carry to
    reconstruct an entry_result whose result_signature (and report row,
    wall-clock aside) is identical to a fresh compilation's. Bump together
-   with any field change so old blobs read as misses, not as garbage. *)
-let payload_format = 2
+   with any field change so old blobs read as misses, not as garbage.
+   3: summaries carry per-pass GC deltas. *)
+let payload_format = 3
 
 let pattern_stat_to_json (p : Ir.Rewriter.pattern_stat) =
   J.Obj
@@ -58,6 +59,7 @@ let summary_to_json (s : Ir.Pass.summary) =
       ("match_attempts", J.num_int s.s_match_attempts);
       ("rewrites", J.num_int s.s_rewrites);
       ("ops_delta", J.num_int s.s_ops_delta);
+      ("gc", Ir.Pass.gc_json s.s_gc);
       ("patterns", J.List (List.map pattern_stat_to_json s.s_patterns));
     ]
 
@@ -87,6 +89,10 @@ let summary_of_json j : Ir.Pass.summary =
     s_match_attempts = jint (jfield "match_attempts" j);
     s_rewrites = jint (jfield "rewrites" j);
     s_ops_delta = jint (jfield "ops_delta" j);
+    s_gc =
+      (match J.member "gc" j with
+      | Some g -> Ir.Pass.gc_of_json g
+      | None -> Ir.Pass.zero_gc);
     s_patterns = List.map pattern_stat_of_json (jlist (jfield "patterns" j));
   }
 
@@ -238,7 +244,80 @@ let compile_entry ~capture_remarks ~shard ?cache (e : Manifest.entry) =
 
 (* ---- the domain pool ---------------------------------------------------- *)
 
-let run ?(domains = 1) ?(capture_remarks = false) ?cache manifest =
+(* Registry handles (docs/OBSERVABILITY.md). The done/failed/cached
+   counters are bumped from the same aggregation that builds
+   report.json, so a --metrics file and the report cannot disagree. *)
+let m_entries_done =
+  lazy
+    (Ir.Metrics.counter ~help:"batch entries compiled or served ok"
+       "mlt_batch_entries_done")
+
+let m_entries_failed =
+  lazy (Ir.Metrics.counter ~help:"batch entries failed" "mlt_batch_entries_failed")
+
+let m_entries_cached =
+  lazy
+    (Ir.Metrics.counter ~help:"batch entries served from the cache"
+       "mlt_batch_entries_cached")
+
+let m_wall_seconds =
+  lazy
+    (Ir.Metrics.gauge ~help:"wall-clock of the last batch run"
+       "mlt_batch_wall_seconds")
+
+let shard_hist shard =
+  Ir.Metrics.histogram ~help:"per-entry wall-clock on this shard"
+    (Printf.sprintf "mlt_batch_shard%d_entry_seconds" shard)
+
+(* ---- progress heartbeat --------------------------------------------------
+
+   Wall-clock-only observability: the heartbeat reads three atomics the
+   workers bump and writes to stderr from its own ticker domain. Nothing
+   it computes flows into results, reports, or signatures. *)
+
+type progress_state = {
+  pg_total : int;
+  pg_done : int Atomic.t;  (** entries finished [Done], cached included *)
+  pg_failed : int Atomic.t;
+  pg_cached : int Atomic.t;
+  pg_stop : bool Atomic.t;
+  pg_t0 : float;
+}
+
+let progress_line st =
+  let d = Atomic.get st.pg_done in
+  let f = Atomic.get st.pg_failed in
+  let c = Atomic.get st.pg_cached in
+  let completed = d + f in
+  let elapsed = Unix.gettimeofday () -. st.pg_t0 in
+  let rate = if elapsed > 0. then float_of_int completed /. elapsed else 0. in
+  let eta =
+    if rate > 0. && completed < st.pg_total then
+      Printf.sprintf " eta %.0fs" (float_of_int (st.pg_total - completed) /. rate)
+    else ""
+  in
+  Printf.sprintf "[mlt-batch] %d/%d done (%d failed, %d cached) %.1f/s%s"
+    completed st.pg_total f c rate eta
+
+let progress_ticker st =
+  Domain.spawn (fun () ->
+      (* On a tty, redraw one line in place; otherwise emit a full line
+         only when the numbers moved, so logs aren't flooded. *)
+      let tty = try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false in
+      let last = ref "" in
+      let emit ~final line =
+        if tty then Printf.eprintf "\r\027[K%s%s%!" line (if final then "\n" else "")
+        else if final || line <> !last then Printf.eprintf "%s\n%!" line;
+        last := line
+      in
+      while not (Atomic.get st.pg_stop) do
+        emit ~final:false (progress_line st);
+        Unix.sleepf 0.5
+      done;
+      emit ~final:true (progress_line st))
+
+let run ?(domains = 1) ?(capture_remarks = false) ?(progress = false) ?cache
+    manifest =
   (* The Dialect op-def registry is write-once-before-parallelism:
      populate it fully on this domain so the workers spawned below only
      ever read it (Ir.Dialect.register_once makes even a racing first
@@ -254,15 +333,38 @@ let run ?(domains = 1) ?(capture_remarks = false) ?cache manifest =
      array needs no synchronization; [Domain.join] publishes the
      writes. The cache handle, when present, is shared — its operations
      serialize on an internal mutex. *)
+  let t0 = Unix.gettimeofday () in
+  let pg =
+    if progress && n > 0 then
+      Some
+        {
+          pg_total = n;
+          pg_done = Atomic.make 0;
+          pg_failed = Atomic.make 0;
+          pg_cached = Atomic.make 0;
+          pg_stop = Atomic.make false;
+          pg_t0 = t0;
+        }
+    else None
+  in
   let work shard () =
+    let hist = shard_hist shard in
     let i = ref shard in
     while !i < n do
-      results.(!i) <-
-        Some (compile_entry ~capture_remarks ~shard ?cache entries.(!i));
+      let r = compile_entry ~capture_remarks ~shard ?cache entries.(!i) in
+      results.(!i) <- Some r;
+      Ir.Metrics.observe hist r.r_seconds;
+      (match pg with
+      | None -> ()
+      | Some st ->
+          (match r.r_status with
+          | Done -> Atomic.incr st.pg_done
+          | Failed _ -> Atomic.incr st.pg_failed);
+          if r.r_cached then Atomic.incr st.pg_cached);
       i := !i + domains
     done
   in
-  let t0 = Unix.gettimeofday () in
+  let ticker = Option.map progress_ticker pg in
   if domains = 1 then work 0 ()
   else begin
     let spawned =
@@ -274,6 +376,11 @@ let run ?(domains = 1) ?(capture_remarks = false) ?cache manifest =
     work 0 ();
     List.iter Domain.join spawned
   end;
+  (match (pg, ticker) with
+  | Some st, Some t ->
+      Atomic.set st.pg_stop true;
+      Domain.join t
+  | _ -> ());
   let wall = Unix.gettimeofday () -. t0 in
   let results =
     Array.to_list
@@ -294,15 +401,24 @@ let run ?(domains = 1) ?(capture_remarks = false) ?cache manifest =
   let hits =
     List.length (List.filter (fun r -> r.r_cached) results)
   in
-  {
-    rp_domains = domains;
-    rp_wall_seconds = wall;
-    rp_cache_enabled = cache <> None;
-    rp_cache_hits = hits;
-    rp_cache_misses = (if cache = None then 0 else n - hits);
-    rp_results = results;
-    rp_summary = merged;
-  }
+  let rp =
+    {
+      rp_domains = domains;
+      rp_wall_seconds = wall;
+      rp_cache_enabled = cache <> None;
+      rp_cache_hits = hits;
+      rp_cache_misses = (if cache = None then 0 else n - hits);
+      rp_results = results;
+      rp_summary = merged;
+    }
+  in
+  if Ir.Metrics.enabled () then begin
+    Ir.Metrics.add (Lazy.force m_entries_done) (ok_count rp);
+    Ir.Metrics.add (Lazy.force m_entries_failed) (failed_count rp);
+    Ir.Metrics.add (Lazy.force m_entries_cached) hits;
+    Ir.Metrics.set (Lazy.force m_wall_seconds) wall
+  end;
+  rp
 
 (* ---- deterministic signatures ------------------------------------------- *)
 
@@ -351,11 +467,18 @@ let entry_json_value r =
         ("passes", Ir.Pass.summaries_json_value r.r_summary);
       ])
 
+(* CPU-time view to set against [wall_seconds]: the sum of per-entry
+   wall-clocks across all shards. Wall-clock only — excluded (like every
+   seconds field) from both signatures. *)
+let total_entry_seconds rp =
+  List.fold_left (fun acc r -> acc +. r.r_seconds) 0. rp.rp_results
+
 let report_json_value rp =
   J.Obj
     [
       ("domains", J.num_int rp.rp_domains);
       ("wall_seconds", J.Num rp.rp_wall_seconds);
+      ("total_entry_seconds", J.Num (total_entry_seconds rp));
       ("ok", J.num_int (ok_count rp));
       ("failed", J.num_int (failed_count rp));
       ("cache_enabled", J.Bool rp.rp_cache_enabled);

@@ -68,9 +68,24 @@ val failed_count : report -> int
     every other entry complete normally. Failed entries are never
     cached. A cache lookup that fails for any reason falls back to
     compiling; a failed commit warns on stderr and leaves the entry
-    intact. *)
+    intact.
+
+    [progress] (default false) spawns a stderr heartbeat on its own
+    ticker domain: done/failed/cached counts, rate, and ETA, redrawn in
+    place on a tty and emitted as change-only lines otherwise. Purely
+    wall-clock observability — nothing it reads or prints flows into
+    results, reports, or {!result_signature}.
+
+    When {!Ir.Metrics.enabled}, a run also records per-shard entry
+    latency histograms ([mlt_batch_shard<N>_entry_seconds]) and the
+    [mlt_batch_entries_{done,failed,cached}] counters — bumped from the
+    same aggregation as the report, so the two artifacts agree. *)
 val run :
-  ?domains:int -> ?capture_remarks:bool -> ?cache:Cache.t -> Manifest.t ->
+  ?domains:int ->
+  ?capture_remarks:bool ->
+  ?progress:bool ->
+  ?cache:Cache.t ->
+  Manifest.t ->
   report
 
 (** [compile_entry ~capture_remarks ~shard e] — the single-entry unit of
@@ -85,10 +100,17 @@ val compile_entry :
 (** Deterministic comparison keys: summaries and results rendered
     {e without} wall-clock fields, so a 4-domain run can be asserted
     equal to the sequential oracle — and a cache-served run to a fresh
-    one. *)
+    one. Wall-clock seconds and GC deltas are {e excluded} by
+    construction (pinned by a regression test in test/test_batch.ml). *)
 val summary_signature : Ir.Pass.summary list -> string
 
 val result_signature : entry_result -> string
+
+(** Sum of per-entry wall-clock seconds across all shards (the CPU-time
+    view to set against [wall_seconds]); the report's
+    ["total_entry_seconds"] member. Wall-clock only — never part of a
+    signature. *)
+val total_entry_seconds : report -> float
 
 (** The whole report as one JSON object (schema in
     docs/CONCURRENCY.md), rendered by {!Support.Json.to_string}. *)

@@ -652,9 +652,16 @@ type compiled = {
   c_body : code;
 }
 
+let m_compile_seconds =
+  lazy
+    (Metrics.histogram ~help:"Interp.Compile.compile_func latency"
+       "mlt_interp_compile_seconds")
+
 let compile_func f =
   if not (Core.is_func f) then
     invalid_arg "Interp.Compile.compile_func: not a func.func";
+  Metrics.time (Lazy.force m_compile_seconds)
+  @@ fun () ->
   Trace.span ~cat:"interp"
     ~args:[ ("func", Trace.A_str (Core.func_name f)) ]
     "compile"

@@ -2,6 +2,49 @@ type t = { name : string; run : Core.op -> unit }
 
 let make ~name run = { name; run }
 
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero_gc =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let add_gc a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
+(* [Gc.quick_stat] reads the counters without forcing a heap walk, so
+   sampling it around every pass is cheap enough to do unconditionally.
+   Its [minor_words] field only advances at minor-collection boundaries,
+   though, so [timed] overrides that one field from [Gc.minor_words]
+   (which reads the live allocation pointer) — otherwise any pass that
+   allocates less than a minor heap reports zero. Note the counters are
+   per-domain: a pass that spawns domains (none do today) would
+   under-report. *)
+let gc_delta (before : Gc.stat) (after : Gc.stat) =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    major_words = after.major_words -. before.major_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+  }
+
 type timing = {
   pass_name : string;
   seconds : float;
@@ -10,6 +53,7 @@ type timing = {
   match_attempts : int;
   rewrites : int;
   depth : int;
+  gc : gc_delta;
   pattern_stats : Rewriter.pattern_stat list;
 }
 
@@ -83,10 +127,25 @@ let wants_snapshot m name =
 
 (* Timing is recorded in a [Fun.protect] finalizer so that a pass raising
    mid-run still contributes its (partial) entry to the report. *)
+let metric_pass_seconds =
+  lazy (Metrics.histogram ~help:"per-pass wall-clock seconds" "mlt_pass_seconds")
+
+let metric_pass_minor_words =
+  lazy
+    (Metrics.counter ~help:"minor-heap words allocated inside passes"
+       "mlt_pass_minor_words")
+
+let metric_pass_major_collections =
+  lazy
+    (Metrics.counter ~help:"major collections triggered inside passes"
+       "mlt_pass_major_collections")
+
 let timed m ~name ~depth root body =
   let ops_before = count_ops root in
   let attempts0, rewrites0 = Rewriter.counter_totals () in
   let patterns0 = Rewriter.pattern_totals () in
+  let gc0 = Gc.quick_stat () in
+  let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   if Trace.enabled () then
     Trace.begin_ ~cat:"pass"
@@ -95,6 +154,10 @@ let timed m ~name ~depth root body =
   Fun.protect
     ~finally:(fun () ->
       let seconds = Unix.gettimeofday () -. t0 in
+      let gc =
+        { (gc_delta gc0 (Gc.quick_stat ())) with
+          minor_words = Gc.minor_words () -. mw0 }
+      in
       let attempts1, rewrites1 = Rewriter.counter_totals () in
       let entry =
         {
@@ -105,10 +168,20 @@ let timed m ~name ~depth root body =
           match_attempts = attempts1 - attempts0;
           rewrites = rewrites1 - rewrites0;
           depth;
+          gc;
           pattern_stats = pattern_delta patterns0 (Rewriter.pattern_totals ());
         }
       in
       m.recorded <- entry :: m.recorded;
+      if Metrics.enabled () && depth = 0 then begin
+        Metrics.observe (Lazy.force metric_pass_seconds) seconds;
+        Metrics.add
+          (Lazy.force metric_pass_minor_words)
+          (int_of_float gc.minor_words);
+        Metrics.add
+          (Lazy.force metric_pass_major_collections)
+          gc.major_collections
+      end;
       if Trace.enabled () then
         Trace.end_ ~cat:"pass"
           ~args:
@@ -116,6 +189,7 @@ let timed m ~name ~depth root body =
               ("ops_after", Trace.A_int entry.ops_after);
               ("match_attempts", Trace.A_int entry.match_attempts);
               ("rewrites", Trace.A_int entry.rewrites);
+              ("minor_words", Trace.A_int (int_of_float gc.minor_words));
             ]
           name)
     body
@@ -168,6 +242,7 @@ type summary = {
   s_match_attempts : int;
   s_rewrites : int;
   s_ops_delta : int;
+  s_gc : gc_delta;
   s_patterns : Rewriter.pattern_stat list;
 }
 
@@ -206,6 +281,7 @@ let add_summary acc (x : summary) =
           s_match_attempts = s.s_match_attempts + x.s_match_attempts;
           s_rewrites = s.s_rewrites + x.s_rewrites;
           s_ops_delta = s.s_ops_delta + x.s_ops_delta;
+          s_gc = add_gc s.s_gc x.s_gc;
           s_patterns = merge_pattern_stats s.s_patterns x.s_patterns;
         }
         :: rest
@@ -226,6 +302,7 @@ let summarize m =
         s_match_attempts = s.s_match_attempts + t.match_attempts;
         s_rewrites = s.s_rewrites + t.rewrites;
         s_ops_delta = s.s_ops_delta + t.ops_after - t.ops_before;
+        s_gc = add_gc s.s_gc t.gc;
         s_patterns = merge_pattern_stats s.s_patterns t.pattern_stats;
       }
     in
@@ -240,6 +317,7 @@ let summarize m =
                 s_match_attempts = 0;
                 s_rewrites = 0;
                 s_ops_delta = 0;
+                s_gc = zero_gc;
                 s_patterns = [];
               };
           ]
@@ -255,15 +333,17 @@ let summarize m =
 let report_table m =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%-40s %12s %8s %8s %9s %9s\n" "pass" "seconds"
-       "ops-in" "ops-out" "matches" "rewrites");
+    (Printf.sprintf "%-40s %12s %8s %8s %9s %9s %10s %6s\n" "pass" "seconds"
+       "ops-in" "ops-out" "matches" "rewrites" "minor-Mw" "majGCs");
   List.iter
     (fun t ->
       let indent = String.make (2 * t.depth) ' ' in
       Buffer.add_string buf
-        (Printf.sprintf "%-40s %12.6f %8d %8d %9d %9d\n"
+        (Printf.sprintf "%-40s %12.6f %8d %8d %9d %9d %10.2f %6d\n"
            (indent ^ t.pass_name) t.seconds t.ops_before t.ops_after
-           t.match_attempts t.rewrites);
+           t.match_attempts t.rewrites
+           (t.gc.minor_words /. 1e6)
+           t.gc.major_collections);
       List.iter
         (fun (p : Rewriter.pattern_stat) ->
           Buffer.add_string buf
@@ -278,13 +358,15 @@ let report_table m =
 let summary_table m =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%-40s %6s %12s %9s %9s %9s\n" "pass" "runs" "seconds"
-       "matches" "rewrites" "ops-delta");
+    (Printf.sprintf "%-40s %6s %12s %9s %9s %9s %10s %6s\n" "pass" "runs"
+       "seconds" "matches" "rewrites" "ops-delta" "minor-Mw" "majGCs");
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%-40s %6d %12.6f %9d %9d %+9d\n" s.s_name s.s_runs
-           s.s_seconds s.s_match_attempts s.s_rewrites s.s_ops_delta);
+        (Printf.sprintf "%-40s %6d %12.6f %9d %9d %+9d %10.2f %6d\n" s.s_name
+           s.s_runs s.s_seconds s.s_match_attempts s.s_rewrites s.s_ops_delta
+           (s.s_gc.minor_words /. 1e6)
+           s.s_gc.major_collections);
       List.iter
         (fun (p : Rewriter.pattern_stat) ->
           Buffer.add_string buf
@@ -309,6 +391,32 @@ let pattern_stat_json (p : Rewriter.pattern_stat) =
       ("activations", J.num_int p.ps_activations);
     ]
 
+(* Word counts are integral floats (OCaml's Gc reports them as floats to
+   survive 32-bit); render them as numbers, not ints, so >2^53 never
+   traps. *)
+let gc_json g =
+  J.Obj
+    [
+      ("minor_words", J.Num g.minor_words);
+      ("major_words", J.Num g.major_words);
+      ("promoted_words", J.Num g.promoted_words);
+      ("minor_collections", J.num_int g.minor_collections);
+      ("major_collections", J.num_int g.major_collections);
+    ]
+
+let gc_of_json j =
+  let num k =
+    match J.member k j with Some (J.Num v) -> v | _ -> 0.
+  in
+  let int k = Option.value ~default:0 (Option.bind (J.member k j) J.to_int) in
+  {
+    minor_words = num "minor_words";
+    major_words = num "major_words";
+    promoted_words = num "promoted_words";
+    minor_collections = int "minor_collections";
+    major_collections = int "major_collections";
+  }
+
 let timing_json (t : timing) =
   J.Obj
     [
@@ -319,6 +427,7 @@ let timing_json (t : timing) =
       ("match_attempts", J.num_int t.match_attempts);
       ("rewrites", J.num_int t.rewrites);
       ("depth", J.num_int t.depth);
+      ("gc", gc_json t.gc);
       ("patterns", J.List (List.map pattern_stat_json t.pattern_stats));
     ]
 
@@ -339,6 +448,7 @@ let summary_entry_json s =
       ("match_attempts", J.num_int s.s_match_attempts);
       ("rewrites", J.num_int s.s_rewrites);
       ("ops_delta", J.num_int s.s_ops_delta);
+      ("gc", gc_json s.s_gc);
       ("patterns", J.List (List.map pattern_stat_json s.s_patterns));
     ]
 

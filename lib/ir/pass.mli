@@ -12,6 +12,25 @@ type t = { name : string; run : Core.op -> unit }
 
 val make : name:string -> (Core.op -> unit) -> t
 
+(** GC activity attributed to one pass (or aggregated over a summary
+    row): deltas of the owning domain's [Gc.quick_stat] counters taken
+    around the pass body. Word counts stay [float] exactly as [Gc]
+    reports them. Never part of {e any} signature or cache identity —
+    allocation counts vary with GC settings and domain scheduling the
+    same way wall-clock does. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val zero_gc : gc_delta
+
+(** Field-wise sum — the merge used by {!merge_summaries}. *)
+val add_gc : gc_delta -> gc_delta -> gc_delta
+
 type timing = {
   pass_name : string;
       (** Qualified with the enclosing pipeline path, e.g. ["opt/dce"]. *)
@@ -22,6 +41,10 @@ type timing = {
       (** Pattern [p_apply] invocations during this pass. *)
   rewrites : int;  (** Successful pattern applications during this pass. *)
   depth : int;  (** Nesting depth: 0 for top-level passes. *)
+  gc : gc_delta;
+      (** Allocation/collection activity during this pass. Nested
+          entries are contained in their pipeline's aggregate, like
+          [seconds]. *)
   pattern_stats : Rewriter.pattern_stat list;
       (** Per-pattern attempt/hit/activation deltas for this pass,
           restricted to the patterns that participated (a pattern counts
@@ -88,6 +111,7 @@ type summary = {
   s_match_attempts : int;
   s_rewrites : int;
   s_ops_delta : int;  (** Sum of [ops_after - ops_before] over runs. *)
+  s_gc : gc_delta;  (** GC deltas summed over runs. *)
   s_patterns : Rewriter.pattern_stat list;
       (** Per-pattern deltas summed over runs, first-appearance order. *)
 }
@@ -131,3 +155,10 @@ val summaries_json : summary list -> string
 (** Same array as a {!Support.Json} value, for emitters that build a
     larger report through the shared writer. *)
 val summaries_json_value : summary list -> Support.Json.t
+
+(** JSON round-trip for {!gc_delta}, shared with the batch cache payload
+    so the two emitters cannot diverge. [gc_of_json] treats missing
+    members as zero (payloads written before GC profiling carry none). *)
+val gc_json : gc_delta -> Support.Json.t
+
+val gc_of_json : Support.Json.t -> gc_delta

@@ -1,0 +1,27 @@
+(** The shared [run_meta] block stamped into every machine-readable
+    artifact (BENCH_*.json, --pass-stats, --metrics files) so a recorded
+    perf point is attributable to the environment that produced it —
+    and so [trace_stats --diff] can refuse to compare artifacts written
+    under different schemas. *)
+
+(** Version of the recorded-artifact schemas. Bump whenever a field of
+    the pass-stats / metrics / BENCH JSON layouts changes meaning, so
+    offline diffs across the change fail loudly instead of comparing
+    apples to oranges. *)
+val schema_version : int
+
+(** [json ?domains ()] — the block as a {!Support.Json} object:
+    [schema_version], [domains] (default
+    [Domain.recommended_domain_count ()]), [ocaml_version], [hostname].
+    Hostname lookup failures degrade to ["unknown"], never raise. *)
+val json : ?domains:int -> unit -> Json.t
+
+(** [to_string ?domains ()] — {!json} rendered compactly, for emitters
+    that build their artifact with [Printf] rather than the tree
+    writer. *)
+val to_string : ?domains:int -> unit -> string
+
+(** [schema_version_of j] — the [run_meta.schema_version] member of a
+    parsed artifact, [None] when the artifact predates run_meta
+    stamping. *)
+val schema_version_of : Json.t -> int option

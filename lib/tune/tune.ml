@@ -9,6 +9,7 @@ type candidate = { c_name : string; c_steps : Script.step list }
 type evaluation = {
   ev_candidate : candidate;
   ev_seconds : float option;
+  ev_wall_seconds : float;
   ev_error : string option;
 }
 
@@ -16,6 +17,7 @@ type stats = {
   t_candidates : int;
   t_evaluated : int;
   t_best_seconds : float;
+  t_eval_latency : Metrics.histogram_snapshot;
 }
 
 type outcome = {
@@ -130,6 +132,11 @@ let sole_func m =
   | [ f ] -> f
   | fs -> D.errorf "tune: expected one kernel, found %d" (List.length fs)
 
+let m_eval_seconds =
+  lazy
+    (Metrics.histogram ~help:"tuner candidate-evaluation wall-clock"
+       "mlt_tune_eval_seconds")
+
 let search ?(domains = 1) ?(seed = 0) ?limit ~machine ~translate candidates =
   let candidates =
     match limit with
@@ -146,18 +153,26 @@ let search ?(domains = 1) ?(seed = 0) ?limit ~machine ~translate candidates =
   let results : (Machine.Perf.report option * string option) array =
     Array.make n (None, None)
   in
+  (* Wall-clock cost of evaluating each candidate — the tuner's own
+     latency, distinct from the modelled seconds it scores. Each slot is
+     written by exactly one shard; [Domain.join] publishes them. *)
+  let walls = Array.make n 0. in
   let eval i =
-    match
-      let m = translate () in
-      let f = sole_func m in
-      List.iter (fun c -> ignore (Interp.apply_step c f)) compiled.(i);
-      Verifier.verify m;
-      Machine.Perf.time_func machine f
-    with
+    let t0 = Unix.gettimeofday () in
+    (match
+       let m = translate () in
+       let f = sole_func m in
+       List.iter (fun c -> ignore (Interp.apply_step c f)) compiled.(i);
+       Verifier.verify m;
+       Machine.Perf.time_func machine f
+     with
     | report -> results.(i) <- (Some report, None)
     | exception D.Error (loc, msg) ->
         results.(i) <- (None, Some (D.to_string loc msg))
-    | exception exn -> results.(i) <- (None, Some (Printexc.to_string exn))
+    | exception exn -> results.(i) <- (None, Some (Printexc.to_string exn)));
+    let w = Unix.gettimeofday () -. t0 in
+    walls.(i) <- w;
+    Metrics.observe (Lazy.force m_eval_seconds) w
   in
   let domains = max 1 (min domains n) in
   let work shard () =
@@ -215,9 +230,21 @@ let search ?(domains = 1) ?(seed = 0) ?limit ~machine ~translate candidates =
                 Option.map
                   (fun (r : Machine.Perf.report) -> r.Machine.Perf.seconds)
                   r;
+              ev_wall_seconds = walls.(j);
               ev_error = e;
             })
           candidates
+      in
+      let eval_latency =
+        let buckets = Array.make Metrics.bucket_count 0 in
+        let sum = ref 0. in
+        Array.iter
+          (fun w ->
+            sum := !sum +. w;
+            let b = Metrics.bucket_of_seconds w in
+            buckets.(b) <- buckets.(b) + 1)
+          walls;
+        { Metrics.h_count = n; h_sum = !sum; h_buckets = buckets }
       in
       {
         o_best = cands.(best_index);
@@ -228,6 +255,7 @@ let search ?(domains = 1) ?(seed = 0) ?limit ~machine ~translate candidates =
             t_candidates = n;
             t_evaluated = evaluated;
             t_best_seconds = report.Machine.Perf.seconds;
+            t_eval_latency = eval_latency;
           };
         o_evaluations = evaluations;
       }

@@ -23,6 +23,10 @@ type candidate = {
 type evaluation = {
   ev_candidate : candidate;
   ev_seconds : float option;
+  ev_wall_seconds : float;
+      (** Wall-clock cost of evaluating this candidate (apply + verify +
+          model) — the tuner's own latency, recorded whether or not the
+          candidate survived. Never part of the scoring. *)
   ev_error : string option;
 }
 
@@ -31,6 +35,11 @@ type stats = {
   t_candidates : int;  (** size of the (subsampled) space *)
   t_evaluated : int;  (** candidates that compiled, verified and timed *)
   t_best_seconds : float;
+  t_eval_latency : Ir.Metrics.histogram_snapshot;
+      (** Distribution of [ev_wall_seconds] over all candidates
+          ({!Ir.Metrics} log buckets); also observed into the
+          [mlt_tune_eval_seconds] registry histogram when metrics are
+          enabled. *)
 }
 
 type outcome = {

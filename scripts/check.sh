@@ -39,14 +39,34 @@ dune exec bin/mlt_opt.exe -- examples/kernels/gemm.c \
   -o "$obs_tmp/out.mlir" > "$obs_tmp/stats.json"
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/trace.json" traceEvents
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/stats.json"
+# trace_stats must digest the smoke trace (hotspots + pattern
+# attribution, folding in the pass-stats JSON), and --diff of two runs
+# of the same pipeline must accept the matching run_meta schema stamps
+# and exit 0 (docs/OBSERVABILITY.md).
+dune exec tools/trace_stats/trace_stats.exe -- "$obs_tmp/trace.json" \
+  --stats "$obs_tmp/stats.json" --top 5
+dune exec bin/mlt_opt.exe -- examples/kernels/gemm.c \
+  --raise-affine-to-linalg --pass-stats -o /dev/null \
+  > "$obs_tmp/stats2.json"
+dune exec tools/trace_stats/trace_stats.exe -- --diff \
+  "$obs_tmp/stats.json" "$obs_tmp/stats2.json"
 # Smoke the multi-domain batch driver: the example manifest must compile
 # cleanly on a 2-domain pool (domains time-share cores on small machines,
 # so this checks safety, not speed) and produce a well-formed report with
 # per-entry and aggregated pass stats (schema in docs/CONCURRENCY.md).
+# --metrics + --progress ride along: the metrics snapshot must be strict
+# JSON whose batch counters agree with the report (pinned harder in
+# test/test_batch.ml), and the heartbeat must not perturb results.
 dune exec bin/mlt_batch.exe -- examples/kernels/batch_manifest.json \
-  --domains 2 --quiet --output "$obs_tmp/batch"
+  --domains 2 --quiet --metrics "$obs_tmp/metrics.json" --progress \
+  --output "$obs_tmp/batch"
 dune exec tools/json_check/json_check.exe -- "$obs_tmp/batch/report.json" \
   entries passes
+dune exec tools/json_check/json_check.exe -- "$obs_tmp/metrics.json" metrics
+grep -q '"name":"mlt_batch_entries_done"' "$obs_tmp/metrics.json" || {
+  echo "check.sh: metrics file lacks the batch counters" >&2
+  exit 1
+}
 # Smoke the compilation cache: a second run over the same manifest and
 # cache directory must be served entirely from the cache (cache_misses 0)
 # and write byte-identical per-entry IR (docs/CACHE.md).

@@ -20,6 +20,7 @@ let () =
       ("random", Test_random.suite);
       ("pass-manager", Test_pass.suite);
       ("trace", Test_trace.suite);
+      ("metrics", Test_metrics.suite);
       ("provenance", Test_provenance.suite);
       ("remarks", Test_remarks.suite);
       ("blis-schedule", Test_blis.suite);

@@ -166,6 +166,96 @@ let test_four_domains_match_sequential_oracle () =
     (Batch.Driver.summary_signature par.Batch.Driver.rp_summary);
   Alcotest.(check int) "no failures" 0 (Batch.Driver.failed_count par)
 
+(* Regression pin for the observability PR: wall-clock seconds and GC
+   deltas ride in results and reports but must never reach a signature —
+   otherwise cache-vs-fresh and parallel-vs-oracle comparisons turn
+   flaky. Perturb both wildly and check the signatures cannot tell. *)
+let test_signatures_exclude_wallclock_and_gc () =
+  let entries = stress_entries () in
+  let rp = Batch.Driver.run ~domains:1 (Batch.Manifest.of_entries entries) in
+  let absurd_gc =
+    {
+      Ir.Pass.minor_words = 1e12;
+      major_words = 1e12;
+      promoted_words = 1e12;
+      minor_collections = 12345;
+      major_collections = 6789;
+    }
+  in
+  let r = List.hd rp.Batch.Driver.rp_results in
+  let r' =
+    {
+      r with
+      Batch.Driver.r_seconds = r.Batch.Driver.r_seconds +. 3600.;
+      r_summary =
+        List.map
+          (fun s -> { s with Ir.Pass.s_seconds = 999.; s_gc = absurd_gc })
+          r.Batch.Driver.r_summary;
+    }
+  in
+  Alcotest.(check string) "result_signature blind to seconds and GC"
+    (Batch.Driver.result_signature r)
+    (Batch.Driver.result_signature r');
+  let perturbed =
+    List.map
+      (fun s -> { s with Ir.Pass.s_seconds = 999.; s_gc = absurd_gc })
+      rp.Batch.Driver.rp_summary
+  in
+  Alcotest.(check string) "summary_signature blind to seconds and GC"
+    (Batch.Driver.summary_signature rp.Batch.Driver.rp_summary)
+    (Batch.Driver.summary_signature perturbed)
+
+(* report.json carries the per-entry wall-clock aggregate, and when
+   metrics are on the batch counters are bumped from the same
+   aggregation as the report — the two artifacts must agree. *)
+let test_report_metrics_agreement () =
+  let entries = stress_entries () in
+  Ir.Metrics.set_enabled true;
+  let counter_before name =
+    List.fold_left
+      (fun acc s ->
+        if s.Ir.Metrics.s_metric = name then
+          match s.Ir.Metrics.s_value with
+          | Ir.Metrics.V_counter n -> n
+          | _ -> acc
+        else acc)
+      0
+      (Ir.Metrics.snapshot ())
+  in
+  let done0 = counter_before "mlt_batch_entries_done" in
+  let failed0 = counter_before "mlt_batch_entries_failed" in
+  let rp, d1, f1 =
+    Fun.protect ~finally:(fun () -> Ir.Metrics.set_enabled false) (fun () ->
+        let rp =
+          Batch.Driver.run ~domains:2 (Batch.Manifest.of_entries entries)
+        in
+        ( rp,
+          counter_before "mlt_batch_entries_done",
+          counter_before "mlt_batch_entries_failed" ))
+  in
+  Alcotest.(check int) "done counter tracks ok_count"
+    (Batch.Driver.ok_count rp) (d1 - done0);
+  Alcotest.(check int) "failed counter tracks failed_count"
+    (Batch.Driver.failed_count rp)
+    (f1 - failed0);
+  (* total_entry_seconds is the sum of per-entry wall-clock and appears
+     in the JSON report, adjacent to wall_seconds. *)
+  let expect =
+    List.fold_left
+      (fun acc (r : Batch.Driver.entry_result) ->
+        acc +. r.Batch.Driver.r_seconds)
+      0. rp.Batch.Driver.rp_results
+  in
+  Alcotest.(check (float 1e-9)) "total_entry_seconds sums r_seconds" expect
+    (Batch.Driver.total_entry_seconds rp);
+  match Support.Json.parse (Batch.Driver.report_json rp) with
+  | Error msg -> Alcotest.failf "report_json invalid: %s" msg
+  | Ok j -> (
+      match Support.Json.member "total_entry_seconds" j with
+      | Some (Support.Json.Num n) ->
+          Alcotest.(check (float 1e-9)) "report.json member agrees" expect n
+      | _ -> Alcotest.fail "report.json lacks total_entry_seconds")
+
 let test_random_order_qcheck =
   (* Manifest order must not matter: under any permutation, each entry
      compiles to exactly what the canonical sequential oracle produced
@@ -345,6 +435,10 @@ let suite =
     Alcotest.test_case "4 domains match the sequential oracle" `Quick
       test_four_domains_match_sequential_oracle;
     test_random_order_qcheck;
+    Alcotest.test_case "signatures exclude wall-clock and GC" `Quick
+      test_signatures_exclude_wallclock_and_gc;
+    Alcotest.test_case "metrics counters agree with the report" `Quick
+      test_report_metrics_agreement;
     Alcotest.test_case "crashing input fails only its own entry" `Quick
       test_fault_isolation;
   ]

@@ -101,6 +101,50 @@ let test_memory_ring_capacity () =
   Alcotest.(check int) "clear empties the buffer" 0
     (List.length (Trace.Memory.events t))
 
+(* The ring buffer must keep wrapping correctly while the metrics layer
+   is live on the same hot path: every Metrics.observe between trace
+   events must neither perturb the ring's bookkeeping nor lose its own
+   observations when the ring overflows. *)
+let test_ring_wraparound_under_metric_load () =
+  let capacity = 8 and total = 1000 in
+  let t = Trace.Memory.create ~capacity () in
+  let h = Metrics.histogram "tt_ring_hist" in
+  let c = Metrics.counter "tt_ring_counter" in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) (fun () ->
+      for i = 1 to total do
+        Metrics.incr c;
+        Metrics.observe h 1e-6;
+        Trace.instant ~args:[ ("i", Trace.A_int i) ] ~cat:"test" "tick"
+      done);
+  Trace.Memory.detach t;
+  Alcotest.(check int) "ring keeps the last [capacity]" capacity
+    (List.length (Trace.Memory.events t));
+  Alcotest.(check int) "ring counts every overflow" (total - capacity)
+    (Trace.Memory.dropped t);
+  let is =
+    List.filter_map
+      (fun e ->
+        match List.assoc_opt "i" e.Trace.ev_args with
+        | Some (Trace.A_int i) -> Some i
+        | _ -> None)
+      (Trace.Memory.events t)
+  in
+  Alcotest.(check (list int)) "survivors are the newest, oldest first"
+    (List.init capacity (fun k -> total - capacity + 1 + k))
+    is;
+  (* The metrics side lost nothing to the ring overflow. *)
+  let sample name =
+    List.find (fun s -> s.Metrics.s_metric = name) (Metrics.snapshot ())
+  in
+  (match (sample "tt_ring_counter").Metrics.s_value with
+  | Metrics.V_counter n -> Alcotest.(check int) "counter kept all" total n
+  | _ -> Alcotest.fail "counter lost its kind");
+  match (sample "tt_ring_hist").Metrics.s_value with
+  | Metrics.V_histogram hs ->
+      Alcotest.(check int) "histogram kept all" total hs.Metrics.h_count
+  | _ -> Alcotest.fail "histogram lost its kind"
+
 let test_span_exception_safety () =
   let t = Trace.Memory.create () in
   (try
@@ -224,6 +268,8 @@ let suite =
       test_memory_captures_pipeline;
     Alcotest.test_case "ring buffer capacity and overflow" `Quick
       test_memory_ring_capacity;
+    Alcotest.test_case "ring wraparound under metric-event load" `Quick
+      test_ring_wraparound_under_metric_load;
     Alcotest.test_case "span closes on exceptions" `Quick
       test_span_exception_safety;
     Alcotest.test_case "sinks stack and detach independently" `Quick

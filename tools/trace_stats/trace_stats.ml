@@ -1,0 +1,417 @@
+(* trace_stats: offline analyzer for the observability artifacts
+   (docs/OBSERVABILITY.md) — the consumer that makes recorded traces and
+   stats actionable without a browser.
+
+     trace_stats TRACE.json [--stats STATS.json] [--metrics M.json] [--top K]
+     trace_stats --diff OLD_STATS.json NEW_STATS.json
+
+   The first form reads a Trace.Chrome file and prints the top-K
+   self-time hotspots (span duration minus child spans, aggregated by
+   name) and a per-pattern cost attribution: each span's self time is
+   distributed over the pattern instant-events that fired inside it,
+   proportional to attempt counts. --stats folds in the --pass-stats
+   JSON (exact per-pass seconds, GC deltas); --metrics summarizes a
+   --metrics snapshot (counters and histogram quantiles).
+
+   The second form compares two --pass-stats files and reports per-pass
+   deltas. It refuses to compare artifacts stamped with different
+   run_meta schema versions. *)
+
+module J = Support.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let read_json path =
+  let src =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "trace_stats: %s" e
+  in
+  match J.parse src with
+  | Ok j -> j
+  | Error msg -> fail "trace_stats: %s: %s" path msg
+
+let jstr = function J.Str s -> Some s | _ -> None
+let jnum = function J.Num n -> Some n | _ -> None
+
+let mem_str k j = Option.bind (J.member k j) jstr
+let mem_num k j = Option.bind (J.member k j) jnum
+
+(* ---- trace analysis ------------------------------------------------------ *)
+
+type span_agg = {
+  mutable sp_count : int;
+  mutable sp_total_us : float;  (* inclusive *)
+  mutable sp_self_us : float;  (* minus child spans *)
+}
+
+type pattern_agg = {
+  mutable pa_attempts : int;
+  mutable pa_hits : int;
+  mutable pa_cost_us : float;  (* attributed share of enclosing self time *)
+}
+
+type open_span = {
+  os_name : string;
+  os_ts : float;
+  mutable os_child_us : float;
+  (* Pattern attempts observed directly inside this span (not in a
+     nested child): they split this span's self time between them. *)
+  os_patterns : (string, int) Hashtbl.t;
+  mutable os_attempts : int;
+}
+
+let analyze_trace events =
+  let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 64 in
+  let patterns : (string, pattern_agg) Hashtbl.t = Hashtbl.create 64 in
+  let span_of name =
+    match Hashtbl.find_opt spans name with
+    | Some s -> s
+    | None ->
+        let s = { sp_count = 0; sp_total_us = 0.; sp_self_us = 0. } in
+        Hashtbl.add spans name s;
+        s
+  in
+  let pattern_of name =
+    match Hashtbl.find_opt patterns name with
+    | Some p -> p
+    | None ->
+        let p = { pa_attempts = 0; pa_hits = 0; pa_cost_us = 0. } in
+        Hashtbl.add patterns name p;
+        p
+  in
+  let stack = ref [] in
+  let close os ts =
+    let dur = ts -. os.os_ts in
+    let agg = span_of os.os_name in
+    agg.sp_count <- agg.sp_count + 1;
+    agg.sp_total_us <- agg.sp_total_us +. dur;
+    let self = Float.max 0. (dur -. os.os_child_us) in
+    agg.sp_self_us <- agg.sp_self_us +. self;
+    (* Attribute this span's self time across the patterns that fired
+       directly inside it, weighted by attempt count. An estimate — the
+       instants carry no duration — but a consistent one. *)
+    if os.os_attempts > 0 then
+      Hashtbl.iter
+        (fun pname n ->
+          let p = pattern_of pname in
+          p.pa_cost_us <-
+            p.pa_cost_us
+            +. (self *. float_of_int n /. float_of_int os.os_attempts))
+        os.os_patterns;
+    (match !stack with
+    | parent :: _ -> parent.os_child_us <- parent.os_child_us +. dur
+    | [] -> ())
+  in
+  List.iter
+    (fun ev ->
+      let name = Option.value ~default:"?" (mem_str "name" ev) in
+      let ts = Option.value ~default:0. (mem_num "ts" ev) in
+      match mem_str "ph" ev with
+      | Some "B" ->
+          stack :=
+            {
+              os_name = name;
+              os_ts = ts;
+              os_child_us = 0.;
+              os_patterns = Hashtbl.create 8;
+              os_attempts = 0;
+            }
+            :: !stack
+      | Some "E" -> (
+          match !stack with
+          | os :: rest ->
+              stack := rest;
+              close os ts
+          | [] -> () (* unmatched E: tolerate truncated traces *))
+      | Some "i" ->
+          let cat = Option.value ~default:"" (mem_str "cat" ev) in
+          if cat = "pattern" then begin
+            let hit =
+              match Option.bind (J.member "args" ev) (J.member "hit") with
+              | Some (J.Bool b) -> b
+              | _ -> false
+            in
+            let p = pattern_of name in
+            p.pa_attempts <- p.pa_attempts + 1;
+            if hit then p.pa_hits <- p.pa_hits + 1;
+            match !stack with
+            | os :: _ ->
+                os.os_attempts <- os.os_attempts + 1;
+                Hashtbl.replace os.os_patterns name
+                  (1
+                  + Option.value ~default:0
+                      (Hashtbl.find_opt os.os_patterns name))
+            | [] -> ()
+          end
+      | _ -> ())
+    events;
+  (* Spans still open at the end of a truncated trace are dropped: we
+     have no end timestamp to attribute. *)
+  (spans, patterns)
+
+let print_hotspots ~top spans =
+  let rows =
+    Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) spans []
+    |> List.sort (fun (_, a) (_, b) -> compare b.sp_self_us a.sp_self_us)
+  in
+  let total_self =
+    List.fold_left (fun acc (_, a) -> acc +. a.sp_self_us) 0. rows
+  in
+  Printf.printf "top %d self-time hotspots (of %d span names):\n" top
+    (List.length rows);
+  Printf.printf "  %-44s %6s %12s %12s %6s\n" "span" "count" "self-ms"
+    "total-ms" "self%";
+  List.iteri
+    (fun i (name, a) ->
+      if i < top then
+        Printf.printf "  %-44s %6d %12.3f %12.3f %5.1f%%\n" name a.sp_count
+          (a.sp_self_us /. 1e3) (a.sp_total_us /. 1e3)
+          (if total_self > 0. then 100. *. a.sp_self_us /. total_self else 0.))
+    rows
+
+let print_pattern_costs ~top patterns =
+  let rows =
+    Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) patterns []
+    |> List.sort (fun (_, a) (_, b) -> compare b.pa_cost_us a.pa_cost_us)
+  in
+  if rows = [] then
+    print_string "no pattern events in this trace (traced without patterns?)\n"
+  else begin
+    Printf.printf "\nper-pattern cost attribution (%d patterns):\n"
+      (List.length rows);
+    Printf.printf "  %-44s %9s %7s %12s\n" "pattern" "attempts" "hits"
+      "est-ms";
+    List.iteri
+      (fun i (name, a) ->
+        if i < top then
+          Printf.printf "  %-44s %9d %7d %12.3f\n" name a.pa_attempts
+            a.pa_hits (a.pa_cost_us /. 1e3))
+      rows
+  end
+
+(* ---- pass-stats ---------------------------------------------------------- *)
+
+(* One row per pass name aggregated over its runs: report-style files
+   (one entry per run) and summary-style files both reduce to this. *)
+type pass_row = {
+  mutable pr_seconds : float;
+  mutable pr_matches : int;
+  mutable pr_rewrites : int;
+  mutable pr_minor_words : float;
+  mutable pr_major_collections : int;
+}
+
+let load_pass_rows j =
+  let rows : (string, pass_row) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  (match J.member "passes" j with
+  | Some (J.List passes) ->
+      List.iter
+        (fun p ->
+          match mem_str "name" p with
+          | None -> ()
+          | Some name ->
+              let row =
+                match Hashtbl.find_opt rows name with
+                | Some r -> r
+                | None ->
+                    let r =
+                      {
+                        pr_seconds = 0.;
+                        pr_matches = 0;
+                        pr_rewrites = 0;
+                        pr_minor_words = 0.;
+                        pr_major_collections = 0;
+                      }
+                    in
+                    Hashtbl.add rows name r;
+                    order := name :: !order;
+                    r
+              in
+              let num k = Option.value ~default:0. (mem_num k p) in
+              row.pr_seconds <- row.pr_seconds +. num "seconds";
+              row.pr_matches <-
+                row.pr_matches + int_of_float (num "match_attempts");
+              row.pr_rewrites <- row.pr_rewrites + int_of_float (num "rewrites");
+              (match J.member "gc" p with
+              | Some gc ->
+                  row.pr_minor_words <-
+                    row.pr_minor_words
+                    +. Option.value ~default:0. (mem_num "minor_words" gc);
+                  row.pr_major_collections <-
+                    row.pr_major_collections
+                    + int_of_float
+                        (Option.value ~default:0.
+                           (mem_num "major_collections" gc))
+              | None -> ()))
+        passes
+  | _ -> fail "trace_stats: pass-stats file has no \"passes\" array");
+  (List.rev !order, rows)
+
+let print_pass_stats j =
+  let order, rows = load_pass_rows j in
+  Printf.printf "\nper-pass stats (--stats):\n";
+  Printf.printf "  %-44s %12s %9s %9s %10s %6s\n" "pass" "seconds" "matches"
+    "rewrites" "minor-Mw" "majGCs";
+  List.iter
+    (fun name ->
+      let r = Hashtbl.find rows name in
+      Printf.printf "  %-44s %12.6f %9d %9d %10.2f %6d\n" name r.pr_seconds
+        r.pr_matches r.pr_rewrites
+        (r.pr_minor_words /. 1e6)
+        r.pr_major_collections)
+    order
+
+(* ---- metrics summaries --------------------------------------------------- *)
+
+let quantile h q =
+  let target =
+    int_of_float (Float.round (q *. float_of_int h.Ir.Metrics.h_count))
+  in
+  let target = max 1 target in
+  let cum = ref 0 and result = ref Float.infinity in
+  Array.iteri
+    (fun i n ->
+      if !cum < target then begin
+        cum := !cum + n;
+        if !cum >= target then result := Ir.Metrics.bucket_upper_seconds i
+      end)
+    h.Ir.Metrics.h_buckets;
+  !result
+
+let print_metrics j =
+  match Ir.Metrics.parse_json j with
+  | Error msg -> fail "trace_stats: bad metrics file: %s" msg
+  | Ok samples ->
+      Printf.printf "\nmetrics snapshot (%d metrics):\n" (List.length samples);
+      List.iter
+        (fun (s : Ir.Metrics.sample) ->
+          match s.Ir.Metrics.s_value with
+          | Ir.Metrics.V_counter n ->
+              Printf.printf "  %-44s %d\n" s.Ir.Metrics.s_metric n
+          | Ir.Metrics.V_gauge v ->
+              Printf.printf "  %-44s %g\n" s.Ir.Metrics.s_metric v
+          | Ir.Metrics.V_histogram h ->
+              if h.Ir.Metrics.h_count = 0 then
+                Printf.printf "  %-44s (no observations)\n"
+                  s.Ir.Metrics.s_metric
+              else
+                let le v =
+                  if v = Float.infinity then "+Inf"
+                  else Printf.sprintf "%.3gms" (v *. 1e3)
+                in
+                Printf.printf
+                  "  %-44s count=%d mean=%.3gms p50<=%s p99<=%s\n"
+                  s.Ir.Metrics.s_metric h.Ir.Metrics.h_count
+                  (h.Ir.Metrics.h_sum /. float_of_int h.Ir.Metrics.h_count
+                  *. 1e3)
+                  (le (quantile h 0.5))
+                  (le (quantile h 0.99)))
+        samples
+
+(* ---- diff ---------------------------------------------------------------- *)
+
+let check_schema_compat ~old_path ~new_path old_j new_j =
+  match
+    ( Support.Run_meta.schema_version_of old_j,
+      Support.Run_meta.schema_version_of new_j )
+  with
+  | Some a, Some b when a <> b ->
+      fail
+        "trace_stats: refusing to diff: %s has run_meta schema %d but %s has \
+         %d — regenerate both with the same build"
+        old_path a new_path b
+  | None, _ | _, None ->
+      Printf.eprintf
+        "trace_stats: warning: missing run_meta in %s — artifact predates \
+         schema stamping, deltas may compare different layouts\n"
+        (match Support.Run_meta.schema_version_of old_j with
+        | None -> old_path
+        | Some _ -> new_path)
+  | _ -> ()
+
+let diff old_path new_path =
+  let old_j = read_json old_path and new_j = read_json new_path in
+  check_schema_compat ~old_path ~new_path old_j new_j;
+  let old_order, old_rows = load_pass_rows old_j in
+  let new_order, new_rows = load_pass_rows new_j in
+  let names =
+    old_order
+    @ List.filter (fun n -> not (Hashtbl.mem old_rows n)) new_order
+  in
+  Printf.printf "pass-stats diff: %s -> %s\n" old_path new_path;
+  Printf.printf "  %-44s %12s %12s %9s %9s\n" "pass" "old-s" "new-s" "delta%"
+    "d-match";
+  let total_old = ref 0. and total_new = ref 0. in
+  List.iter
+    (fun name ->
+      let o = Hashtbl.find_opt old_rows name in
+      let n = Hashtbl.find_opt new_rows name in
+      let os = match o with Some r -> r.pr_seconds | None -> 0. in
+      let ns = match n with Some r -> r.pr_seconds | None -> 0. in
+      let om = match o with Some r -> r.pr_matches | None -> 0 in
+      let nm = match n with Some r -> r.pr_matches | None -> 0 in
+      total_old := !total_old +. os;
+      total_new := !total_new +. ns;
+      let pct =
+        if os > 0. then Printf.sprintf "%+8.1f%%" (100. *. (ns -. os) /. os)
+        else if ns > 0. then "     new"
+        else "       ="
+      in
+      Printf.printf "  %-44s %12.6f %12.6f %9s %+9d%s\n" name os ns pct
+        (nm - om)
+        (match (o, n) with
+        | None, _ -> "   (only in new)"
+        | _, None -> "   (only in old)"
+        | _ -> ""))
+    names;
+  Printf.printf "  %-44s %12.6f %12.6f\n" "total" !total_old !total_new
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let usage () =
+  prerr_endline
+    "usage: trace_stats TRACE.json [--stats STATS.json] [--metrics M.json] \
+     [--top K]\n\
+    \       trace_stats --diff OLD_STATS.json NEW_STATS.json";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--diff"; old_path; new_path ] -> diff old_path new_path
+  | _ :: rest when rest <> [] && not (List.mem "--diff" rest) ->
+      let trace = ref None
+      and stats = ref None
+      and metrics = ref None
+      and top = ref 15 in
+      let rec parse = function
+        | [] -> ()
+        | "--stats" :: path :: rest ->
+            stats := Some path;
+            parse rest
+        | "--metrics" :: path :: rest ->
+            metrics := Some path;
+            parse rest
+        | "--top" :: k :: rest ->
+            (match int_of_string_opt k with
+            | Some k when k > 0 -> top := k
+            | _ -> fail "trace_stats: --top needs a positive integer");
+            parse rest
+        | path :: rest when !trace = None && path.[0] <> '-' ->
+            trace := Some path;
+            parse rest
+        | arg :: _ -> fail "trace_stats: unexpected argument %S" arg
+      in
+      parse rest;
+      let trace_path = match !trace with Some p -> p | None -> usage () in
+      let j = read_json trace_path in
+      (match J.member "traceEvents" j with
+      | Some (J.List events) ->
+          let spans, patterns = analyze_trace events in
+          Printf.printf "%s: %d events\n" trace_path (List.length events);
+          print_hotspots ~top:!top spans;
+          print_pattern_costs ~top:!top patterns
+      | _ -> fail "trace_stats: %s has no \"traceEvents\" array" trace_path);
+      Option.iter (fun p -> print_pass_stats (read_json p)) !stats;
+      Option.iter (fun p -> print_metrics (read_json p)) !metrics
+  | _ -> usage ()
